@@ -1,0 +1,407 @@
+// Benchmarks that regenerate the paper's evaluation artifacts, one per
+// table and figure (see DESIGN.md §4 for the experiment index), plus
+// ablations over the design choices the paper calls out. The figure
+// benchmarks run the experiment matrix at test scale and publish the
+// headline numbers as custom metrics; `go run ./cmd/figures` prints the
+// full-scale tables.
+package doppelganger
+
+import (
+	"testing"
+
+	"doppelganger/internal/harness"
+	"doppelganger/internal/pipeline"
+	"doppelganger/internal/secure"
+	"doppelganger/internal/workload"
+	"doppelganger/sim"
+)
+
+// runMatrix executes the experiment matrix once per benchmark iteration.
+func runMatrix(b *testing.B, names []string) *harness.Matrix {
+	b.Helper()
+	var m *harness.Matrix
+	for i := 0; i < b.N; i++ {
+		var err error
+		m, err = harness.Run(harness.Options{Scale: workload.ScaleTest, Workloads: names})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}
+
+// BenchmarkTable1Config regenerates Table 1: it builds the paper's system
+// configuration and reports its headline parameters as metrics.
+func BenchmarkTable1Config(b *testing.B) {
+	w, _ := workload.ByName("matrix_blocked")
+	p := w.Build(workload.ScaleTest)
+	for i := 0; i < b.N; i++ {
+		if _, err := pipeline.New(pipeline.DefaultConfig(), p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	cfg := pipeline.DefaultConfig()
+	b.ReportMetric(float64(cfg.ROBSize), "rob-entries")
+	b.ReportMetric(float64(cfg.LQSize), "lq-entries")
+	b.ReportMetric(float64(cfg.Stride.Entries), "predictor-entries")
+	b.ReportMetric(float64(cfg.Memory.L1MSHRs), "l1-mshrs")
+}
+
+// BenchmarkFigure1Summary regenerates the Figure 1 headline: geomean
+// normalized performance per scheme with and without doppelganger loads,
+// and the slowdown reduction each achieves.
+func BenchmarkFigure1Summary(b *testing.B) {
+	m := runMatrix(b, nil)
+	for _, s := range harness.Schemes {
+		name := s.String()
+		b.ReportMetric(m.GeomeanNormIPC(s, false)*100, name+"-%base")
+		b.ReportMetric(m.GeomeanNormIPC(s, true)*100, name+"+AP-%base")
+		b.ReportMetric(m.SlowdownReduction(s)*100, name+"-%reduction")
+	}
+}
+
+// BenchmarkFigure6NormalizedIPC regenerates Figure 6 per workload: the
+// normalized IPC of each scheme with and without address prediction.
+func BenchmarkFigure6NormalizedIPC(b *testing.B) {
+	for _, name := range workload.Names() {
+		b.Run(name, func(b *testing.B) {
+			m := runMatrix(b, []string{name})
+			for _, s := range harness.Schemes {
+				b.ReportMetric(m.NormIPC(name, s, false)*100, s.String()+"-%base")
+				b.ReportMetric(m.NormIPC(name, s, true)*100, s.String()+"+AP-%base")
+			}
+		})
+	}
+}
+
+// BenchmarkFigure7CoverageAccuracy regenerates Figure 7: address predictor
+// coverage and accuracy per workload under DoM+AP.
+func BenchmarkFigure7CoverageAccuracy(b *testing.B) {
+	for _, name := range workload.Names() {
+		b.Run(name, func(b *testing.B) {
+			w, _ := workload.ByName(name)
+			p := w.Build(workload.ScaleTest)
+			var res sim.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = sim.Run(p, sim.Config{Scheme: secure.DoM, AddressPrediction: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(res.Coverage*100, "%coverage")
+			b.ReportMetric(res.Accuracy*100, "%accuracy")
+		})
+	}
+}
+
+// BenchmarkFigure8CacheAccesses regenerates Figure 8: L1 and L2 accesses
+// normalized to the unsafe baseline, per scheme with and without AP.
+func BenchmarkFigure8CacheAccesses(b *testing.B) {
+	for _, name := range workload.Names() {
+		b.Run(name, func(b *testing.B) {
+			m := runMatrix(b, []string{name})
+			for _, s := range harness.Schemes {
+				b.ReportMetric(m.NormL1(name, s, true), s.String()+"+AP-L1x")
+				b.ReportMetric(m.NormL2(name, s, true), s.String()+"+AP-L2x")
+			}
+		})
+	}
+}
+
+// BenchmarkBaselineAddressPrediction regenerates the §7 "Unsafe Baseline +
+// Address Prediction" comparison (the paper measures ~+0.5% geomean).
+func BenchmarkBaselineAddressPrediction(b *testing.B) {
+	m := runMatrix(b, nil)
+	vals := make([]float64, 0, len(m.Workloads))
+	for _, w := range m.Workloads {
+		vals = append(vals, m.NormIPC(w, secure.Unsafe, true))
+	}
+	b.ReportMetric(harness.Geomean(vals)*100, "unsafe+AP-%base")
+}
+
+// benchSchemeOn runs one workload under one configuration and reports the
+// cycle count and simulator throughput.
+func benchSchemeOn(b *testing.B, name string, mutate func(*pipeline.Config)) sim.Result {
+	b.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		b.Fatalf("unknown workload %s", name)
+	}
+	p := w.Build(workload.ScaleTest)
+	var res sim.Result
+	for i := 0; i < b.N; i++ {
+		cc := pipeline.DefaultConfig()
+		cfg := sim.Config{Core: &cc}
+		mutate(&cc)
+		cfg.Scheme = cc.Scheme
+		cfg.AddressPrediction = cc.AddressPrediction
+		var err error
+		res, err = sim.Run(p, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Cycles), "cycles")
+	return res
+}
+
+// BenchmarkAblationPredictorSize sweeps the shared stride table size on the
+// stream workload under DoM+AP — the paper's "better predictors are future
+// work" knob.
+func BenchmarkAblationPredictorSize(b *testing.B) {
+	for _, entries := range []int{128, 512, 1024, 4096} {
+		b.Run(map[int]string{128: "128", 512: "512", 1024: "1024-paper", 4096: "4096"}[entries],
+			func(b *testing.B) {
+				res := benchSchemeOn(b, "stream", func(c *pipeline.Config) {
+					c.Scheme = secure.DoM
+					c.AddressPrediction = true
+					c.Stride.Entries = entries
+				})
+				b.ReportMetric(res.Coverage*100, "%coverage")
+			})
+	}
+}
+
+// BenchmarkAblationPrefetcher sweeps the prefetcher configuration shared
+// with the address predictor (degree x distance).
+func BenchmarkAblationPrefetcher(b *testing.B) {
+	cases := []struct {
+		name             string
+		degree, distance int
+	}{
+		{"off", 0, 0},
+		{"deg1-dist4", 1, 4},
+		{"deg2-dist12-paper", 2, 12},
+		{"deg4-dist24", 4, 24},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			benchSchemeOn(b, "stream", func(cc *pipeline.Config) {
+				cc.Scheme = secure.DoM
+				cc.PrefetchDegree = c.degree
+				cc.PrefetchDistance = c.distance
+			})
+		})
+	}
+}
+
+// BenchmarkAblationLoadPorts sweeps the memory issue bandwidth shared
+// between real loads and doppelgangers (§5's port-filling policy).
+func BenchmarkAblationLoadPorts(b *testing.B) {
+	for _, ports := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "1", 2: "2-paper", 4: "4"}[ports], func(b *testing.B) {
+			benchSchemeOn(b, "stream", func(c *pipeline.Config) {
+				c.Scheme = secure.NDAP
+				c.AddressPrediction = true
+				c.LoadPorts = ports
+			})
+		})
+	}
+}
+
+// BenchmarkAblationDelayedVerification measures STT+AP when address-
+// predicted loads are forced to wait until non-speculative before
+// propagating (the stricter alternative §5.2 investigates) — approximated
+// by running NDA-P's propagation rule on the same workload.
+func BenchmarkAblationDelayedVerification(b *testing.B) {
+	b.Run("stt-immediate-paper", func(b *testing.B) {
+		benchSchemeOn(b, "stream", func(c *pipeline.Config) {
+			c.Scheme = secure.STT
+			c.AddressPrediction = true
+		})
+	})
+	b.Run("nda-until-nonspec", func(b *testing.B) {
+		benchSchemeOn(b, "stream", func(c *pipeline.Config) {
+			c.Scheme = secure.NDAP
+			c.AddressPrediction = true
+		})
+	})
+}
+
+// BenchmarkSimulatorThroughput measures raw simulation speed (simulated
+// instructions per wall second), the practical cost of running the suite.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	w, _ := workload.ByName("matrix_blocked")
+	p := w.Build(workload.ScaleTest)
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(p, sim.Config{Scheme: secure.DoM, AddressPrediction: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts = res.Insts
+	}
+	b.ReportMetric(float64(insts*uint64(b.N))/b.Elapsed().Seconds(), "sim-insts/s")
+}
+
+// BenchmarkAblationValueVsAddressPrediction reproduces the paper's §2.3
+// argument quantitatively: on the same DoM-delayed workload, doppelganger
+// (address) prediction beats value prediction, which pays for in-order
+// validation and rollback squashes.
+func BenchmarkAblationValueVsAddressPrediction(b *testing.B) {
+	cases := []struct {
+		name   string
+		mutate func(*pipeline.Config)
+	}{
+		{"dom-plain", func(c *pipeline.Config) { c.Scheme = secure.DoM }},
+		{"dom+vp", func(c *pipeline.Config) { c.Scheme = secure.DoM; c.ValuePrediction = true }},
+		{"dom+ap-paper", func(c *pipeline.Config) { c.Scheme = secure.DoM; c.AddressPrediction = true }},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			res := benchSchemeOn(b, "stream", c.mutate)
+			if res.Stats.VPPredictions > 0 {
+				b.ReportMetric(float64(res.Stats.VPMispredicted), "vp-squashes")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationHybridPredictor measures the future-work predictor on
+// the pointer-chasing workload the stride table cannot cover.
+func BenchmarkAblationHybridPredictor(b *testing.B) {
+	for _, c := range []struct {
+		name string
+		kind pipeline.AddressPredictorKind
+	}{
+		{"stride-paper", pipeline.PredictorStride},
+		{"context", pipeline.PredictorContext},
+		{"hybrid", pipeline.PredictorHybrid},
+	} {
+		b.Run(c.name, func(b *testing.B) {
+			res := benchSchemeOn(b, "pointer_chase", func(cc *pipeline.Config) {
+				cc.Scheme = secure.DoM
+				cc.AddressPrediction = true
+				cc.AddressPredictorKind = c.kind
+			})
+			b.ReportMetric(res.Coverage*100, "%coverage")
+		})
+	}
+}
+
+// BenchmarkAblationSchemeVariants compares the paper's schemes with the
+// reproduction's extension variants on the gated-gather stream.
+func BenchmarkAblationSchemeVariants(b *testing.B) {
+	for _, s := range []secure.Scheme{secure.NDAP, secure.NDAS, secure.STT, secure.STTSpectre} {
+		b.Run(s.String(), func(b *testing.B) {
+			benchSchemeOn(b, "stream", func(c *pipeline.Config) { c.Scheme = s })
+		})
+	}
+}
+
+// BenchmarkAblationBranchPredictor measures how direction-predictor quality
+// changes scheme overheads (shadow lifetimes scale with resolution rate).
+func BenchmarkAblationBranchPredictor(b *testing.B) {
+	for _, k := range []struct {
+		name string
+		kind pipeline.BranchPredictorKind
+	}{
+		{"bimodal-paper", pipeline.BranchBimodal},
+		{"gshare", pipeline.BranchGShare},
+	} {
+		b.Run(k.name, func(b *testing.B) {
+			res := benchSchemeOn(b, "graph_path", func(c *pipeline.Config) {
+				c.Scheme = secure.DoM
+				c.BranchPredictorKind = k.kind
+			})
+			b.ReportMetric(float64(res.Stats.BranchMispredicts), "mispredicts")
+		})
+	}
+}
+
+// BenchmarkAblationMemDepPrediction measures store-set memory dependence
+// prediction (assumed by the paper's §4.4 discussion) on an aliasing
+// microbenchmark in which a load repeatedly conflicts with a late-resolving
+// store.
+func BenchmarkAblationMemDepPrediction(b *testing.B) {
+	prog := aliasingProgram(600)
+	for _, on := range []bool{false, true} {
+		name := map[bool]string{false: "speculate-always", true: "store-sets"}[on]
+		b.Run(name, func(b *testing.B) {
+			var res sim.Result
+			for i := 0; i < b.N; i++ {
+				cc := pipeline.DefaultConfig()
+				cc.MemDepPrediction = on
+				cc.PrefetchDegree = 0
+				var err error
+				res, err = sim.Run(prog, sim.Config{Core: &cc})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Cycles), "cycles")
+			b.ReportMetric(float64(res.Stats.MemOrderViolations), "violations")
+		})
+	}
+}
+
+// aliasingProgram builds a loop where a load aliases a store whose address
+// resolves only after a cold-line miss.
+func aliasingProgram(iters int) *sim.Program {
+	bld := sim.NewBuilder("aliasing-bench")
+	const (
+		slow = 0x8000
+		data = 0x20000
+	)
+	for i := 0; i < iters; i++ {
+		bld.InitMem(slow+uint64(i)*64, 0)
+	}
+	bld.LoadI(1, 0)
+	bld.LoadI(2, int64(iters))
+	bld.LoadI(3, slow)
+	bld.LoadI(4, data)
+	bld.LoadI(9, 0)
+	bld.LoadI(10, 777)
+	loop := bld.Here()
+	bld.Load(5, 3, 0)
+	bld.AndI(5, 5, 0)
+	bld.Add(6, 4, 5)
+	bld.Store(10, 6, 0)
+	bld.Load(7, 4, 0)
+	bld.Add(9, 9, 7)
+	bld.AddI(3, 3, 64)
+	bld.AddI(4, 4, 8)
+	bld.AddI(1, 1, 1)
+	bld.Blt(1, 2, loop)
+	bld.Halt()
+	return bld.MustBuild()
+}
+
+// BenchmarkAblationExceptionShadows measures the E-shadow variant of the
+// speculation tracker (Ghost Loads' full shadow set) against the paper's
+// control+store-address shadows.
+func BenchmarkAblationExceptionShadows(b *testing.B) {
+	for _, on := range []bool{false, true} {
+		name := map[bool]string{false: "cd-shadows-paper", true: "cde-shadows"}[on]
+		b.Run(name, func(b *testing.B) {
+			res := benchSchemeOn(b, "stream", func(c *pipeline.Config) {
+				c.Scheme = secure.DoM
+				c.ExceptionShadows = on
+			})
+			b.ReportMetric(float64(res.Stats.DoMDelayedMisses), "delayed-misses")
+		})
+	}
+}
+
+// BenchmarkWorkloads measures each suite kernel on the unsafe baseline:
+// simulator throughput per workload and the cycle counts behind the
+// Figure 6 normalizations.
+func BenchmarkWorkloads(b *testing.B) {
+	for _, name := range workload.Names() {
+		b.Run(name, func(b *testing.B) {
+			w, _ := workload.ByName(name)
+			p := w.Build(workload.ScaleTest)
+			var res sim.Result
+			for i := 0; i < b.N; i++ {
+				var err error
+				res, err = sim.Run(p, sim.Config{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(res.Cycles), "cycles")
+			b.ReportMetric(res.IPC, "ipc")
+		})
+	}
+}

@@ -1,0 +1,214 @@
+// Command doppelsim runs one program on the simulated core and reports
+// detailed statistics.
+//
+//	doppelsim -workload stream -scheme dom -ap            # suite benchmark
+//	doppelsim -file prog.asm -scheme stt                  # assembly file
+//	doppelsim -workload pointer_chase -all                # all schemes +-AP
+//	doppelsim -list                                       # show workloads
+//	doppelsim -workload stream -trace 1000:1200           # event trace window
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"doppelganger/sim"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "", "run a suite workload by name (see -list)")
+		file         = flag.String("file", "", "run an assembly file")
+		schemeName   = flag.String("scheme", "unsafe", "secure speculation scheme: unsafe, nda-p, stt, dom, nda-s, stt-spectre")
+		ap           = flag.Bool("ap", false, "enable doppelganger loads (address prediction)")
+		vp           = flag.Bool("vp", false, "enable DoM value prediction instead of doppelgangers")
+		apKind       = flag.String("predictor", "stride", "address predictor: stride, context, hybrid")
+		bpKind       = flag.String("branch", "bimodal", "branch predictor: bimodal, gshare")
+		all          = flag.Bool("all", false, "run every scheme with and without AP and compare")
+		extensions   = flag.Bool("extensions", false, "with -all, include the nda-s and stt-spectre variants")
+		scaleName    = flag.String("scale", "full", "workload scale: full or test")
+		maxInsts     = flag.Uint64("maxinsts", 0, "stop after committing this many instructions (0 = run to halt)")
+		maxCycles    = flag.Uint64("maxcycles", 0, "cycle budget (0 = default)")
+		trace        = flag.String("trace", "", "event trace window, cycles, as from:to")
+		verify       = flag.Bool("verify", false, "cross-check the final state against the reference interpreter")
+		list         = flag.Bool("list", false, "list suite workloads and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range sim.Workloads() {
+			fmt.Printf("%-16s stands in for %s\n    %s\n", w.Name, w.Spec, w.Description)
+		}
+		return
+	}
+
+	prog, err := loadProgram(*workloadName, *file, *scaleName)
+	if err != nil {
+		fail(err)
+	}
+
+	if *all {
+		runAll(prog, *maxInsts, *maxCycles, *extensions)
+		return
+	}
+
+	scheme, err := sim.ParseScheme(*schemeName)
+	if err != nil {
+		fail(err)
+	}
+	cc := sim.DefaultCoreConfig()
+	cc.ValuePrediction = *vp
+	switch *apKind {
+	case "stride":
+		cc.AddressPredictorKind = sim.PredictorStride
+	case "context":
+		cc.AddressPredictorKind = sim.PredictorContext
+	case "hybrid":
+		cc.AddressPredictorKind = sim.PredictorHybrid
+	default:
+		fail(fmt.Errorf("unknown predictor %q", *apKind))
+	}
+	switch *bpKind {
+	case "bimodal":
+		cc.BranchPredictorKind = sim.BranchBimodal
+	case "gshare":
+		cc.BranchPredictorKind = sim.BranchGShare
+	default:
+		fail(fmt.Errorf("unknown branch predictor %q", *bpKind))
+	}
+	cfg := sim.Config{
+		Scheme:            scheme,
+		AddressPrediction: *ap,
+		MaxInsts:          *maxInsts,
+		MaxCycles:         *maxCycles,
+		Core:              &cc,
+	}
+	core, err := sim.NewCore(prog, cfg)
+	if err != nil {
+		fail(err)
+	}
+	if *trace != "" {
+		var from, to uint64
+		if _, err := fmt.Sscanf(*trace, "%d:%d", &from, &to); err != nil {
+			fail(fmt.Errorf("bad -trace %q, want from:to", *trace))
+		}
+		core.SetTraceWindow(from, to)
+	}
+	limit := cfg.MaxCycles
+	if limit == 0 {
+		limit = sim.DefaultMaxCycles
+	}
+	if err := core.Run(cfg.MaxInsts, limit); err != nil {
+		fail(err)
+	}
+	if *verify {
+		ref := sim.Interpret(prog, 500_000_000)
+		if core.ArchState().Checksum() != ref.Checksum() {
+			fail(fmt.Errorf("verification FAILED: core state differs from the reference interpreter"))
+		}
+		fmt.Println("verification OK: architectural state matches the reference interpreter")
+	}
+	printResult(sim.Summarize(prog, cfg, core))
+}
+
+func loadProgram(workloadName, file, scaleName string) (*sim.Program, error) {
+	switch {
+	case workloadName != "" && file != "":
+		return nil, fmt.Errorf("use either -workload or -file, not both")
+	case workloadName != "":
+		w, ok := sim.WorkloadByName(workloadName)
+		if !ok {
+			return nil, fmt.Errorf("unknown workload %q; known: %s",
+				workloadName, strings.Join(sim.WorkloadNames(), ", "))
+		}
+		scale := sim.ScaleFull
+		switch scaleName {
+		case "full":
+		case "test":
+			scale = sim.ScaleTest
+		default:
+			return nil, fmt.Errorf("unknown scale %q", scaleName)
+		}
+		return w.Build(scale), nil
+	case file != "":
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return nil, err
+		}
+		return sim.Assemble(file, string(src))
+	default:
+		return nil, fmt.Errorf("nothing to run: pass -workload or -file (or -list)")
+	}
+}
+
+func runAll(prog *sim.Program, maxInsts, maxCycles uint64, extensions bool) {
+	fmt.Printf("%-12s %-6s %12s %8s %10s %10s %10s\n",
+		"scheme", "dopp", "cycles", "IPC", "vs base", "coverage", "accuracy")
+	var base uint64
+	schemes := sim.Schemes()
+	if extensions {
+		schemes = sim.AllSchemes()
+	}
+	for _, scheme := range schemes {
+		for _, ap := range []bool{false, true} {
+			res, err := sim.Run(prog, sim.Config{
+				Scheme: scheme, AddressPrediction: ap,
+				MaxInsts: maxInsts, MaxCycles: maxCycles,
+			})
+			if err != nil {
+				fail(err)
+			}
+			if scheme == sim.Unsafe && !ap {
+				base = res.Cycles
+			}
+			fmt.Printf("%-12v %-6v %12d %8.2f %9.1f%% %9.1f%% %9.1f%%\n",
+				scheme, ap, res.Cycles, res.IPC,
+				float64(base)/float64(res.Cycles)*100,
+				res.Coverage*100, res.Accuracy*100)
+		}
+	}
+}
+
+func printResult(res sim.Result) {
+	st := res.Stats
+	m := res.Memory
+	fmt.Printf("program            %s\n", res.Program)
+	fmt.Printf("scheme             %v (doppelganger loads: %v)\n", res.Scheme, res.AP)
+	fmt.Printf("cycles             %d\n", res.Cycles)
+	fmt.Printf("instructions       %d (IPC %.3f)\n", res.Insts, res.IPC)
+	fmt.Printf("loads / stores     %d / %d\n", st.CommittedLoads, st.CommittedStores)
+	fmt.Printf("load levels        L1=%d L2=%d L3=%d mem=%d\n",
+		st.CommittedLoadLevel[0], st.CommittedLoadLevel[1], st.CommittedLoadLevel[2], st.CommittedLoadLevel[3])
+	fmt.Printf("branches           %d committed, %d mispredicted (%.2f%%)\n",
+		st.CommittedBranches, st.BranchMispredicts, st.BranchMispredictRate()*100)
+	fmt.Printf("squashed uops      %d (%d memory-order violations)\n", st.Squashed, st.MemOrderViolations)
+	fmt.Printf("store forwards     %d\n", st.STLFForwards)
+	fmt.Printf("prefetches         %d issued\n", st.PrefetchesIssued)
+	if res.Scheme.DelaysOnMiss() {
+		fmt.Printf("DoM delayed misses %d\n", st.DoMDelayedMisses)
+	}
+	if res.Scheme.TracksTaint() {
+		fmt.Printf("STT taint stalls   %d\n", st.STTTaintStalls)
+	}
+	if res.AP {
+		fmt.Printf("doppelgangers      %d predicted, %d issued, %d verified, %d mispredicted\n",
+			st.DoppPredictions, st.DoppIssued, st.DoppVerified, st.DoppMispredicted)
+		fmt.Printf("coverage/accuracy  %.1f%% / %.1f%%\n", res.Coverage*100, res.Accuracy*100)
+	}
+	if st.VPPredictions > 0 {
+		fmt.Printf("value predictions  %d made, %d correct, %d squashed\n",
+			st.VPPredictions, st.VPCorrect, st.VPMispredicted)
+	}
+	fmt.Printf("L1 accesses        %d (demand %d, doppelganger %d, prefetch %d, writeback %d), %d misses\n",
+		m.L1Accesses, m.L1Demand, m.L1Doppelganger, m.L1Prefetch, m.L1Writeback, m.L1Misses)
+	fmt.Printf("L2 / L3 accesses   %d / %d\n", m.L2Accesses, m.L3Accesses)
+	fmt.Printf("DRAM accesses      %d reads, %d writebacks\n", m.DRAMAccesses, m.DRAMWrites)
+	fmt.Printf("dirty evictions    L1=%d L2=%d L3=%d\n", m.WritebacksL1, m.WritebacksL2, m.WritebacksL3)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "doppelsim:", err)
+	os.Exit(1)
+}

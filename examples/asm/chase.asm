@@ -1,0 +1,17 @@
+; chase.asm — a small pointer chase: each cell holds the address of the
+; next; the walk ends at a zero link.
+; Run with: go run ./cmd/doppelsim -file examples/asm/chase.asm -all
+.mem 0x1000 = 0x1040
+.mem 0x1040 = 0x1100
+.mem 0x1100 = 0x10c0
+.mem 0x10c0 = 0x1200
+.mem 0x1200 = 0
+        loadi r1, 0x1000
+        loadi r2, 0
+        loadi r3, 0
+walk:   load  r1, [r1]
+        addi  r3, r3, 1
+        bne   r1, r2, walk
+        loadi r4, 0x2000
+        store r3, [r4]
+        halt

@@ -1,0 +1,14 @@
+; fib.asm — iterative Fibonacci; result (fib(30)) is stored at 0x1000.
+; Run with: go run ./cmd/doppelsim -file examples/asm/fib.asm -verify
+        loadi r1, 0        ; a
+        loadi r2, 1        ; b
+        loadi r3, 30       ; n
+        loadi r4, 0        ; i
+loop:   add   r5, r1, r2   ; t = a + b
+        addi  r1, r2, 0    ; a = b
+        addi  r2, r5, 0    ; b = t
+        addi  r4, r4, 1
+        blt   r4, r3, loop
+        loadi r6, 0x1000
+        store r1, [r6]
+        halt

@@ -1,0 +1,27 @@
+; memcpy.asm — copy 256 words from 0x2000 to 0x4000, then checksum them.
+; Run with: go run ./cmd/doppelsim -file examples/asm/memcpy.asm -scheme dom -ap
+.mem 0x2000 = 11
+.mem 0x2008 = 22
+.mem 0x2010 = 33
+        loadi r1, 0x2000   ; src
+        loadi r2, 0x4000   ; dst
+        loadi r3, 256      ; words
+        loadi r4, 0
+copy:   load  r5, [r1]
+        store r5, [r2]
+        addi  r1, r1, 8
+        addi  r2, r2, 8
+        addi  r4, r4, 1
+        blt   r4, r3, copy
+        ; checksum the destination
+        loadi r2, 0x4000
+        loadi r4, 0
+        loadi r6, 0
+sum:    load  r5, [r2]
+        add   r6, r6, r5
+        addi  r2, r2, 8
+        addi  r4, r4, 1
+        blt   r4, r3, sum
+        loadi r7, 0x6000
+        store r6, [r7]
+        halt

@@ -1,0 +1,89 @@
+// MLP demo: visualises how secure speculation schemes destroy memory-level
+// parallelism on dependent loads and how doppelganger loads restore it.
+//
+// The kernel issues a window of dependent gathers behind slow "gate"
+// branches. The demo reports, per scheme, the cycle cost, the number of
+// delayed/stalled events, and where committed loads were satisfied — then
+// repeats the run with doppelganger loads enabled.
+//
+//	go run ./examples/mlp
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"doppelganger/sim"
+)
+
+func buildKernel(iters int) *sim.Program {
+	b := sim.NewBuilder("mlp-demo")
+	const (
+		baseIdx  = 0x10_0000
+		baseData = 0x80_0000
+	)
+	for i := 0; i < iters; i++ {
+		b.InitMem(baseIdx+uint64(i)*8, int64(i)*8) // sequential indices
+	}
+	const (
+		pi, end, idx, t, x, acc, thr = 1, 2, 3, 4, 5, 6, 7
+	)
+	b.LoadI(pi, baseIdx)
+	b.LoadI(end, baseIdx+int64(iters)*8)
+	b.LoadI(acc, 0)
+	b.LoadI(thr, 50)
+	loop := b.Here()
+	b.Load(idx, pi, 0) // fast index load
+	b.ShlI(t, idx, 3)
+	b.AddI(t, t, baseData)
+	b.Load(x, t, 0) // dependent gather: misses, line stride
+	skip := b.NewLabel()
+	b.Blt(x, thr, skip) // gate: resolution waits for the gather
+	b.AddI(acc, acc, 1)
+	b.Bind(skip)
+	b.AddI(pi, pi, 8)
+	b.Blt(pi, end, loop)
+	b.Store(acc, end, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+func main() {
+	const iters = 6000
+	prog := buildKernel(iters)
+
+	fmt.Println("Dependent gathers behind load-gated branches: the pattern where")
+	fmt.Println("secure speculation schemes lose MLP (paper §2.4).")
+	fmt.Println()
+	fmt.Printf("%-8s %-6s %9s %9s | %9s %9s %9s | %s\n",
+		"scheme", "dopp", "cycles", "IPC",
+		"delayed", "stalls", "doppel", "committed loads by level (L1/L2/L3/mem)")
+
+	var baseline uint64
+	for _, scheme := range sim.Schemes() {
+		for _, ap := range []bool{false, true} {
+			res, err := sim.Run(prog, sim.Config{Scheme: scheme, AddressPrediction: ap})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if scheme == sim.Unsafe && !ap {
+				baseline = res.Cycles
+			}
+			st := res.Stats
+			fmt.Printf("%-8v %-6v %9d %9.2f | %9d %9d %9d | %v   (%.0f%% of baseline)\n",
+				scheme, ap, res.Cycles, res.IPC,
+				st.DoMDelayedMisses, st.STTTaintStalls, st.DoppIssued,
+				st.CommittedLoadLevel, float64(baseline)/float64(res.Cycles)*100)
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("Reading the table:")
+	fmt.Println("  - NDA-P and STT delay the gather's issue (stalls) because its")
+	fmt.Println("    address flows from a speculative load; DoM delays its miss")
+	fmt.Println("    outright (delayed). All three lose the parallel misses the")
+	fmt.Println("    unsafe core enjoys.")
+	fmt.Println("  - With doppelganger loads the predicted-address accesses (doppel)")
+	fmt.Println("    start the misses early and safely; the schemes approach the")
+	fmt.Println("    baseline again.")
+}

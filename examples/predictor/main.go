@@ -1,0 +1,83 @@
+// Predictor exploration: how the shared stride table behaves in address
+// prediction mode on different access patterns, and what that means for
+// coverage and accuracy (the paper's Figure 7 axes).
+//
+//	go run ./examples/predictor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"doppelganger/sim"
+)
+
+// patterns builds three programs with one interesting load each:
+// a perfect stride, a jump-broken stride, and a random walk.
+func patterns() map[string]*sim.Program {
+	mk := func(name string, addrOf func(i int) uint64) *sim.Program {
+		b := sim.NewBuilder(name)
+		const idxT = 0x10_0000
+		const iters = 4000
+		for i := 0; i < iters; i++ {
+			b.InitMem(idxT+uint64(i)*8, int64(addrOf(i)))
+		}
+		b.LoadI(1, idxT)
+		b.LoadI(2, idxT+iters*8)
+		b.LoadI(4, 0)
+		loop := b.Here()
+		b.Load(3, 1, 0) // pointer from the table
+		b.Load(3, 3, 0) // the measured load: dependent, pattern-controlled
+		b.Add(4, 4, 3)
+		b.AddI(1, 1, 8)
+		b.Blt(1, 2, loop)
+		b.Store(4, 2, 0)
+		b.Halt()
+		return b.MustBuild()
+	}
+	st := uint64(99)
+	rnd := func(n int) int {
+		st = st*6364136223846793005 + 1442695040888963407
+		return int(st>>33) % n
+	}
+	return map[string]*sim.Program{
+		"perfect-stride": mk("perfect-stride", func(i int) uint64 {
+			return 0x80_0000 + uint64(i)*64
+		}),
+		"jumpy-stride": mk("jumpy-stride", func(i int) uint64 {
+			// Runs of ~200, then a jump.
+			return 0x80_0000 + uint64(i%200)*64 + uint64(i/200)*0x40_000
+		}),
+		"random-walk": mk("random-walk", func(i int) uint64 {
+			return 0x80_0000 + uint64(rnd(1<<14))*64
+		}),
+	}
+}
+
+func main() {
+	fmt.Println("Address prediction mode on three access patterns (DoM+AP,")
+	fmt.Println("the configuration the paper reports Figure 7 under):")
+	fmt.Println()
+	fmt.Printf("%-16s %10s %10s %12s %12s\n",
+		"pattern", "coverage", "accuracy", "dopp issued", "mispredicted")
+	for _, name := range []string{"perfect-stride", "jumpy-stride", "random-walk"} {
+		prog := patterns()[name]
+		res, err := sim.Run(prog, sim.Config{Scheme: sim.DoM, AddressPrediction: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-16s %9.1f%% %9.1f%% %12d %12d\n",
+			name, res.Coverage*100, res.Accuracy*100,
+			res.Stats.DoppIssued, res.Stats.DoppMispredicted)
+	}
+	fmt.Println()
+	fmt.Println("Each iteration runs two loads: the index-table walk (always")
+	fmt.Println("stride-covered) and the pattern-controlled dependent load, so")
+	fmt.Println("coverage floors near 50% when the pattern itself is unpredictable")
+	fmt.Println("and its PC simply produces no predictions.")
+	fmt.Println("The table is trained only at commit (non-speculative addresses),")
+	fmt.Println("uses full PC tags, and predictions are read-only — the security")
+	fmt.Println("requirements of §5 of the paper. Coverage tracks how much of the")
+	fmt.Println("access stream is stride-like; accuracy falls when predictions")
+	fmt.Println("extrapolate across pattern breaks.")
+}

@@ -1,0 +1,73 @@
+// Quickstart: assemble a small program and run it under every secure
+// speculation scheme, with and without doppelganger loads.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"doppelganger/sim"
+)
+
+// The kernel sums a table through an index indirection — the dependent-load
+// pattern that secure speculation schemes slow down and doppelganger loads
+// recover. The index values are sequential, so the dependent load's
+// addresses are stride-predictable even though they flow through a load.
+const source = `
+; for i in 0..n-1: acc += data[idx[i]]
+.entry start
+start:  loadi r1, 0x10000      ; idx pointer
+        loadi r2, 0x14000      ; idx end (2048 entries)
+        loadi r3, 0            ; acc
+        loadi r7, 95
+loop:   load  r4, [r1]         ; idx value
+        shli  r5, r4, 3
+        addi  r5, r5, 0x100000 ; &data[idx]
+        load  r6, [r5]         ; dependent load
+        blt   r6, r7, skip     ; gate on the loaded value
+        addi  r3, r3, 1
+skip:   add   r3, r3, r6
+        addi  r1, r1, 8
+        blt   r1, r2, loop
+        store r3, [r2]
+        halt
+`
+
+func main() {
+	prog, err := sim.Assemble("quickstart", source)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Initial memory: sequential indices, pseudo-random data.
+	for i := 0; i < 2048; i++ {
+		prog.InitMem[0x10000+uint64(i)*8] = int64(i * 4) // stride-predictable
+		prog.InitMem[0x100000+uint64(i*4)*8] = int64((i*2654435761 + 7) % 100)
+	}
+
+	// Functional reference: what the program computes.
+	ref := sim.Interpret(prog, 1_000_000)
+	fmt.Printf("program computes acc = %d over %d instructions\n\n", ref.Regs[3], ref.Insts)
+
+	fmt.Printf("%-8s %-6s %10s %8s %10s %10s\n",
+		"scheme", "dopp", "cycles", "IPC", "coverage", "accuracy")
+	var baseline uint64
+	for _, scheme := range sim.Schemes() {
+		for _, ap := range []bool{false, true} {
+			res, err := sim.Run(prog, sim.Config{Scheme: scheme, AddressPrediction: ap})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if scheme == sim.Unsafe && !ap {
+				baseline = res.Cycles
+			}
+			rel := float64(baseline) / float64(res.Cycles) * 100
+			fmt.Printf("%-8v %-6v %10d %8.2f %9.1f%% %9.1f%%   (%5.1f%% of baseline)\n",
+				scheme, ap, res.Cycles, res.IPC, res.Coverage*100, res.Accuracy*100, rel)
+		}
+	}
+	fmt.Println("\nThe secure schemes lose cycles on the dependent load; enabling")
+	fmt.Println("doppelganger loads (dopp=true) recovers most of them without")
+	fmt.Println("touching the memory hierarchy.")
+}

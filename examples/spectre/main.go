@@ -1,0 +1,121 @@
+// Spectre demo: a bounds-check-bypass (Spectre v1) gadget leaks a secret
+// through the cache on the unprotected core, while NDA-P, STT and DoM block
+// it — with and without doppelganger loads, demonstrating the paper's
+// threat-model transparency.
+//
+//	go run ./examples/spectre
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"doppelganger/sim"
+)
+
+const (
+	idxTable = 0x10_000
+	array1   = 0x20_000
+	probe    = 0x40_000
+	guard    = 0x60_000
+	rounds   = 24
+	secret   = int64(37)
+)
+
+// gadget builds the classic pattern:
+//
+//	if idx < bound {          // bound loaded from a cold line: slow check
+//	    x := array1[idx]      // speculative out-of-bounds read
+//	    _ = probe[x*64]       // transmit: caches a secret-selected line
+//	}
+//
+// The attack trains the branch in-bounds, then supplies idx=64 so the
+// mispredicted path reads the secret at array1[64].
+func gadget() *sim.Program {
+	b := sim.NewBuilder("spectre")
+	for i := 0; i < rounds; i++ {
+		v := int64(i % 8)
+		if i == rounds-1 {
+			v = 64 // out of bounds
+		}
+		b.InitMem(idxTable+uint64(i)*8, v)
+		b.InitMem(guard+uint64(i)*64, 8) // the bound, one cold line per round
+	}
+	for i := 0; i < 8; i++ {
+		b.InitMem(array1+uint64(i)*8, int64(i))
+	}
+	b.InitMem(array1+64*8, secret)
+
+	// Victim phase: the victim touches its own secret (warming the line).
+	b.LoadI(10, array1)
+	b.Load(10, 10, 64*8)
+
+	b.LoadI(1, idxTable)
+	b.LoadI(2, idxTable+rounds*8)
+	b.LoadI(9, guard)
+	b.LoadI(8, 0)
+	loop := b.Here()
+	b.Load(3, 1, 0) // idx
+	b.Load(4, 9, 0) // bound: cold line, slow to arrive
+	skip := b.NewLabel()
+	b.Bge(3, 4, skip) // bounds check
+	b.ShlI(5, 3, 3)
+	b.AddI(5, 5, array1)
+	b.Load(6, 5, 0) // speculative secret access
+	b.ShlI(5, 6, 6)
+	b.AddI(5, 5, probe)
+	b.Load(7, 5, 0) // transmitter
+	b.Add(8, 8, 7)
+	b.Bind(skip)
+	b.AddI(1, 1, 8)
+	b.AddI(9, 9, 64)
+	b.Blt(1, 2, loop)
+	b.Store(8, 2, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// attackerProbe plays the attacker's reload phase: it inspects which probe
+// lines are observable. In a real attack this is done with timing; the
+// simulator lets us read the cache state directly.
+func attackerProbe(core *sim.Core) (recovered []int64) {
+	h := core.Hierarchy()
+	for line := int64(8); line < 256; line++ { // lines 0..7 are architectural
+		la := uint64(probe + line*64)
+		if h.L1D.Present(la) || h.L2.Present(la) || h.L3.Present(la) {
+			recovered = append(recovered, line)
+		}
+	}
+	return recovered
+}
+
+func main() {
+	fmt.Printf("secret value: %d\n\n", secret)
+	fmt.Printf("%-8s %-6s %-22s %s\n", "scheme", "dopp", "out-of-bounds lines", "verdict")
+	for _, scheme := range sim.Schemes() {
+		for _, ap := range []bool{false, true} {
+			cfg := sim.Config{Scheme: scheme, AddressPrediction: ap}
+			cc := sim.DefaultCoreConfig()
+			cc.PrefetchDegree = 0 // keep prefetch extrapolation out of the demo
+			cfg.Core = &cc
+			core, err := sim.NewCore(gadget(), cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := core.Run(0, 10_000_000); err != nil {
+				log.Fatal(err)
+			}
+			lines := attackerProbe(core)
+			verdict := "SAFE: nothing secret observable"
+			for _, l := range lines {
+				if l == secret {
+					verdict = fmt.Sprintf("LEAKED: attacker reads secret=%d from the cache", l)
+				}
+			}
+			fmt.Printf("%-8v %-6v %-24s %s\n", scheme, ap, fmt.Sprint(lines), verdict)
+		}
+	}
+	fmt.Println("\nDoppelganger accesses may appear at predictor-trained addresses")
+	fmt.Println("(stride extrapolations), but those are independent of the secret:")
+	fmt.Println("the schemes' guarantees survive the optimization unchanged.")
+}

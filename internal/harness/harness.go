@@ -1,0 +1,191 @@
+// Package harness runs the paper's experiment matrix — every workload under
+// every scheme with and without address prediction — and renders the tables
+// behind each figure of the evaluation (Figures 1, 6, 7, 8 and Table 1).
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"doppelganger/internal/program"
+	"doppelganger/internal/secure"
+	"doppelganger/internal/workload"
+	"doppelganger/sim"
+)
+
+// Schemes evaluated in figure order.
+var Schemes = []secure.Scheme{secure.NDAP, secure.STT, secure.DoM}
+
+// Key identifies one cell of the experiment matrix.
+type Key struct {
+	Workload string
+	Scheme   secure.Scheme
+	AP       bool
+}
+
+// Matrix holds the full set of results.
+type Matrix struct {
+	Workloads []string
+	Results   map[Key]sim.Result
+}
+
+// Options configures a sweep.
+type Options struct {
+	// Scale selects workload sizes.
+	Scale workload.Scale
+	// Workloads restricts the sweep (nil = all).
+	Workloads []string
+	// Verify cross-checks every run's architectural state against the
+	// reference interpreter.
+	Verify bool
+	// Progress, when non-nil, receives one line per completed run.
+	Progress io.Writer
+}
+
+// Run executes the experiment matrix: each workload under the unsafe
+// baseline and the three schemes, each with and without address prediction.
+func Run(opts Options) (*Matrix, error) {
+	names := opts.Workloads
+	if len(names) == 0 {
+		names = workload.Names()
+	}
+	sort.Strings(names)
+	m := &Matrix{Workloads: names, Results: make(map[Key]sim.Result)}
+	schemes := append([]secure.Scheme{secure.Unsafe}, Schemes...)
+	for _, name := range names {
+		w, ok := workload.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("harness: unknown workload %q", name)
+		}
+		prog := w.Build(opts.Scale)
+		var refSum uint64
+		if opts.Verify {
+			ref := program.Run(prog, 100_000_000)
+			if !ref.Halted {
+				return nil, fmt.Errorf("harness: %s reference run did not halt", name)
+			}
+			refSum = ref.Checksum()
+		}
+		for _, s := range schemes {
+			for _, ap := range []bool{false, true} {
+				cfg := sim.Config{Scheme: s, AddressPrediction: ap}
+				core, err := sim.NewCore(prog, cfg)
+				if err != nil {
+					return nil, err
+				}
+				if err := core.Run(0, sim.DefaultMaxCycles); err != nil {
+					return nil, fmt.Errorf("harness: %s under %v ap=%v: %w", name, s, ap, err)
+				}
+				if opts.Verify {
+					if got := core.ArchState().Checksum(); got != refSum {
+						return nil, fmt.Errorf("harness: %s under %v ap=%v: architectural state diverged",
+							name, s, ap)
+					}
+				}
+				res := sim.Summarize(prog, cfg, core)
+				m.Results[Key{name, s, ap}] = res
+				if opts.Progress != nil {
+					fmt.Fprintf(opts.Progress, "%-16s %-7v ap=%-5v cycles=%9d ipc=%.3f cov=%.2f acc=%.2f\n",
+						name, s, ap, res.Cycles, res.IPC, res.Coverage, res.Accuracy)
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// Get returns the result for a cell; it panics on a missing cell, which
+// indicates the matrix was built with a different workload set.
+func (m *Matrix) Get(w string, s secure.Scheme, ap bool) sim.Result {
+	r, ok := m.Results[Key{w, s, ap}]
+	if !ok {
+		panic(fmt.Sprintf("harness: no result for %s/%v/ap=%v", w, s, ap))
+	}
+	return r
+}
+
+// NormIPC returns the run's IPC normalized to the unsafe no-AP baseline of
+// the same workload (Figure 6's metric).
+func (m *Matrix) NormIPC(w string, s secure.Scheme, ap bool) float64 {
+	base := m.Get(w, secure.Unsafe, false)
+	r := m.Get(w, s, ap)
+	if r.Cycles == 0 {
+		return 0
+	}
+	// Same instruction count either way, so the IPC ratio is the inverse
+	// cycle ratio.
+	return float64(base.Cycles) / float64(r.Cycles)
+}
+
+// NormL1 returns total L1 accesses normalized to the unsafe no-AP baseline.
+func (m *Matrix) NormL1(w string, s secure.Scheme, ap bool) float64 {
+	base := m.Get(w, secure.Unsafe, false).Memory.L1Accesses
+	if base == 0 {
+		return 0
+	}
+	return float64(m.Get(w, s, ap).Memory.L1Accesses) / float64(base)
+}
+
+// NormL2 returns total L2 accesses normalized to the unsafe no-AP baseline.
+func (m *Matrix) NormL2(w string, s secure.Scheme, ap bool) float64 {
+	base := m.Get(w, secure.Unsafe, false).Memory.L2Accesses
+	if base == 0 {
+		return 0
+	}
+	return float64(m.Get(w, s, ap).Memory.L2Accesses) / float64(base)
+}
+
+// Geomean computes the geometric mean of positive values; zeros are skipped.
+func Geomean(vals []float64) float64 {
+	sum, n := 0.0, 0
+	for _, v := range vals {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// GeomeanNormIPC computes the suite geomean of normalized IPC for a cell.
+func (m *Matrix) GeomeanNormIPC(s secure.Scheme, ap bool) float64 {
+	vals := make([]float64, 0, len(m.Workloads))
+	for _, w := range m.Workloads {
+		vals = append(vals, m.NormIPC(w, s, ap))
+	}
+	return Geomean(vals)
+}
+
+// SlowdownReduction returns the fraction of a scheme's slowdown that
+// address prediction removes (the paper's headline 42% / 48% / 30%).
+func (m *Matrix) SlowdownReduction(s secure.Scheme) float64 {
+	base := m.GeomeanNormIPC(s, false)
+	ap := m.GeomeanNormIPC(s, true)
+	if base >= 1 {
+		return 0
+	}
+	return (ap - base) / (1 - base)
+}
+
+// GeomeanNormIPCAPFair is GeomeanNormIPC for the +AP cell, but normalized
+// to the unsafe baseline *with* address prediction. On this synthetic suite
+// the baseline itself gains a few percent from address prediction (the
+// paper's SPEC baseline gains only 0.5%), so the AP-fair ratio isolates
+// what the scheme loses relative to an equally-equipped baseline.
+func (m *Matrix) GeomeanNormIPCAPFair(s secure.Scheme) float64 {
+	vals := make([]float64, 0, len(m.Workloads))
+	for _, w := range m.Workloads {
+		baseAP := m.Get(w, secure.Unsafe, true)
+		r := m.Get(w, s, true)
+		if r.Cycles == 0 {
+			continue
+		}
+		vals = append(vals, float64(baseAP.Cycles)/float64(r.Cycles))
+	}
+	return Geomean(vals)
+}

@@ -1,0 +1,280 @@
+// Package isa defines the register-transfer instruction set executed by the
+// simulator: a small RISC-like, 64-bit, load/store architecture with 32
+// general-purpose registers.
+//
+// The ISA is deliberately minimal but complete enough to express the control
+// and data behaviour that secure-speculation schemes care about: conditional
+// branches (control speculation), register-indirect loads and stores (data
+// speculation and dependent-load chains), and plain ALU work (taint
+// propagation paths).
+package isa
+
+import "fmt"
+
+// NumRegs is the number of architectural general-purpose registers.
+const NumRegs = 32
+
+// Reg names an architectural register. R0 is a normal, writable register
+// (there is no hardwired zero register; use LOADI to materialise constants).
+type Reg uint8
+
+// String returns the conventional "r<N>" register name.
+func (r Reg) String() string { return fmt.Sprintf("r%d", r) }
+
+// Valid reports whether the register index is in range.
+func (r Reg) Valid() bool { return int(r) < NumRegs }
+
+// Op identifies an operation.
+type Op uint8
+
+// Operations. Arithmetic is 64-bit two's complement. Comparisons used by
+// branches are signed.
+const (
+	Nop Op = iota
+
+	// ALU register-register: Dst = Src1 <op> Src2.
+	Add
+	Sub
+	Mul
+	Div // Dst = Src1 / Src2; division by zero yields 0 (no traps in this ISA).
+	And
+	Or
+	Xor
+	Shl // shift amount is Src2 & 63
+	Shr // logical shift right, amount is Src2 & 63
+	Slt // set-less-than (signed): Dst = 1 if Src1 < Src2 else 0
+
+	// ALU register-immediate: Dst = Src1 <op> Imm.
+	AddI
+	MulI
+	AndI
+	ShlI
+	ShrI
+
+	// LoadI materialises a 64-bit immediate: Dst = Imm.
+	LoadI
+
+	// Memory: effective address = Src1 + Imm (byte address, 8-byte words).
+	Load  // Dst = mem[Src1+Imm]
+	Store // mem[Src1+Imm] = Src2
+
+	// Control flow. Branch targets are absolute instruction indices (PCs)
+	// held in Imm. Conditional branches compare Src1 against Src2.
+	Beq // branch if Src1 == Src2
+	Bne // branch if Src1 != Src2
+	Blt // branch if Src1 <  Src2 (signed)
+	Bge // branch if Src1 >= Src2 (signed)
+	Jmp // unconditional jump to Imm
+
+	// Halt stops the program; architecturally it is the last committed
+	// instruction.
+	Halt
+
+	numOps // sentinel; keep last
+)
+
+var opNames = [numOps]string{
+	Nop:   "nop",
+	Add:   "add",
+	Sub:   "sub",
+	Mul:   "mul",
+	Div:   "div",
+	And:   "and",
+	Or:    "or",
+	Xor:   "xor",
+	Shl:   "shl",
+	Shr:   "shr",
+	Slt:   "slt",
+	AddI:  "addi",
+	MulI:  "muli",
+	AndI:  "andi",
+	ShlI:  "shli",
+	ShrI:  "shri",
+	LoadI: "loadi",
+	Load:  "load",
+	Store: "store",
+	Beq:   "beq",
+	Bne:   "bne",
+	Blt:   "blt",
+	Bge:   "bge",
+	Jmp:   "jmp",
+	Halt:  "halt",
+}
+
+// String returns the assembly mnemonic for the operation.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether the op code is defined.
+func (o Op) Valid() bool { return o < numOps }
+
+// Kind classifies operations by their pipeline behaviour.
+type Kind uint8
+
+// Instruction kinds as seen by the pipeline.
+const (
+	KindNop Kind = iota
+	KindALU
+	KindLoad
+	KindStore
+	KindBranch // conditional branch
+	KindJump   // unconditional
+	KindHalt
+)
+
+// Kind returns the pipeline class of the operation.
+func (o Op) Kind() Kind {
+	switch o {
+	case Nop:
+		return KindNop
+	case Load:
+		return KindLoad
+	case Store:
+		return KindStore
+	case Beq, Bne, Blt, Bge:
+		return KindBranch
+	case Jmp:
+		return KindJump
+	case Halt:
+		return KindHalt
+	default:
+		return KindALU
+	}
+}
+
+// Instruction is one static instruction. Fields that an operation does not
+// use are ignored (and should be zero).
+type Instruction struct {
+	Op   Op
+	Dst  Reg   // destination register (ALU, LoadI, Load)
+	Src1 Reg   // first source (ALU, Load/Store base, branch lhs)
+	Src2 Reg   // second source (ALU, Store data, branch rhs)
+	Imm  int64 // immediate / displacement / branch target
+}
+
+// HasDst reports whether the instruction writes a destination register.
+func (in Instruction) HasDst() bool {
+	switch in.Op.Kind() {
+	case KindALU, KindLoad:
+		return true
+	default:
+		return false
+	}
+}
+
+// Sources returns the architectural source registers the instruction reads,
+// in a fixed-size array plus a count (avoiding allocation on hot paths).
+func (in Instruction) Sources() (srcs [2]Reg, n int) {
+	switch in.Op {
+	case Nop, LoadI, Jmp, Halt:
+		return srcs, 0
+	case Load, AddI, MulI, AndI, ShlI, ShrI:
+		srcs[0] = in.Src1
+		return srcs, 1
+	case Store, Beq, Bne, Blt, Bge,
+		Add, Sub, Mul, Div, And, Or, Xor, Shl, Shr, Slt:
+		srcs[0], srcs[1] = in.Src1, in.Src2
+		return srcs, 2
+	default:
+		return srcs, 0
+	}
+}
+
+// IsBranch reports whether the instruction redirects control flow
+// conditionally or unconditionally.
+func (in Instruction) IsBranch() bool {
+	k := in.Op.Kind()
+	return k == KindBranch || k == KindJump
+}
+
+// String renders the instruction in assembly-like syntax.
+func (in Instruction) String() string {
+	switch in.Op {
+	case Nop:
+		return "nop"
+	case Halt:
+		return "halt"
+	case LoadI:
+		return fmt.Sprintf("loadi %s, %d", in.Dst, in.Imm)
+	case Load:
+		return fmt.Sprintf("load %s, [%s%+d]", in.Dst, in.Src1, in.Imm)
+	case Store:
+		return fmt.Sprintf("store %s, [%s%+d]", in.Src2, in.Src1, in.Imm)
+	case Beq, Bne, Blt, Bge:
+		return fmt.Sprintf("%s %s, %s, @%d", in.Op, in.Src1, in.Src2, in.Imm)
+	case Jmp:
+		return fmt.Sprintf("jmp @%d", in.Imm)
+	case AddI, MulI, AndI, ShlI, ShrI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Dst, in.Src1, in.Imm)
+	default:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Dst, in.Src1, in.Src2)
+	}
+}
+
+// EvalALU computes the result of an ALU-class operation (including LoadI)
+// given its resolved operand values. It panics if called for a non-ALU op.
+func EvalALU(op Op, a, b, imm int64) int64 {
+	switch op {
+	case Add:
+		return a + b
+	case Sub:
+		return a - b
+	case Mul:
+		return a * b
+	case Div:
+		if b == 0 {
+			return 0
+		}
+		return a / b
+	case And:
+		return a & b
+	case Or:
+		return a | b
+	case Xor:
+		return a ^ b
+	case Shl:
+		return a << (uint64(b) & 63)
+	case Shr:
+		return int64(uint64(a) >> (uint64(b) & 63))
+	case Slt:
+		if a < b {
+			return 1
+		}
+		return 0
+	case AddI:
+		return a + imm
+	case MulI:
+		return a * imm
+	case AndI:
+		return a & imm
+	case ShlI:
+		return a << (uint64(imm) & 63)
+	case ShrI:
+		return int64(uint64(a) >> (uint64(imm) & 63))
+	case LoadI:
+		return imm
+	default:
+		panic(fmt.Sprintf("isa: EvalALU called with non-ALU op %v", op))
+	}
+}
+
+// BranchTaken evaluates a conditional branch predicate given resolved
+// operands. It panics if called for a non-branch op.
+func BranchTaken(op Op, a, b int64) bool {
+	switch op {
+	case Beq:
+		return a == b
+	case Bne:
+		return a != b
+	case Blt:
+		return a < b
+	case Bge:
+		return a >= b
+	default:
+		panic(fmt.Sprintf("isa: BranchTaken called with non-branch op %v", op))
+	}
+}

@@ -1,0 +1,238 @@
+package isa
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		Nop: "nop", Add: "add", Sub: "sub", Mul: "mul", Div: "div",
+		And: "and", Or: "or", Xor: "xor", Shl: "shl", Shr: "shr", Slt: "slt",
+		AddI: "addi", MulI: "muli", AndI: "andi", ShlI: "shli", ShrI: "shri",
+		LoadI: "loadi", Load: "load", Store: "store",
+		Beq: "beq", Bne: "bne", Blt: "blt", Bge: "bge", Jmp: "jmp", Halt: "halt",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", uint8(op), got, want)
+		}
+	}
+	if got := Op(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown op string = %q, want it to include the code", got)
+	}
+}
+
+func TestOpValid(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		if !op.Valid() {
+			t.Errorf("op %v should be valid", op)
+		}
+	}
+	if Op(numOps).Valid() || Op(255).Valid() {
+		t.Error("out-of-range ops should be invalid")
+	}
+}
+
+func TestKindClassification(t *testing.T) {
+	cases := map[Op]Kind{
+		Nop: KindNop, Halt: KindHalt, Jmp: KindJump,
+		Load: KindLoad, Store: KindStore,
+		Beq: KindBranch, Bne: KindBranch, Blt: KindBranch, Bge: KindBranch,
+		Add: KindALU, LoadI: KindALU, Div: KindALU, ShrI: KindALU,
+	}
+	for op, want := range cases {
+		if got := op.Kind(); got != want {
+			t.Errorf("%v.Kind() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestHasDst(t *testing.T) {
+	with := []Op{Add, Sub, Mul, Div, And, Or, Xor, Shl, Shr, Slt,
+		AddI, MulI, AndI, ShlI, ShrI, LoadI, Load}
+	without := []Op{Nop, Store, Beq, Bne, Blt, Bge, Jmp, Halt}
+	for _, op := range with {
+		if !(Instruction{Op: op}).HasDst() {
+			t.Errorf("%v should have a destination", op)
+		}
+	}
+	for _, op := range without {
+		if (Instruction{Op: op}).HasDst() {
+			t.Errorf("%v should not have a destination", op)
+		}
+	}
+}
+
+func TestSources(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want []Reg
+	}{
+		{Instruction{Op: Nop}, nil},
+		{Instruction{Op: LoadI, Dst: 1}, nil},
+		{Instruction{Op: Jmp}, nil},
+		{Instruction{Op: Halt}, nil},
+		{Instruction{Op: Load, Dst: 1, Src1: 2}, []Reg{2}},
+		{Instruction{Op: AddI, Dst: 1, Src1: 3}, []Reg{3}},
+		{Instruction{Op: Add, Dst: 1, Src1: 2, Src2: 3}, []Reg{2, 3}},
+		{Instruction{Op: Store, Src1: 4, Src2: 5}, []Reg{4, 5}},
+		{Instruction{Op: Beq, Src1: 6, Src2: 7}, []Reg{6, 7}},
+	}
+	for _, c := range cases {
+		srcs, n := c.in.Sources()
+		if n != len(c.want) {
+			t.Errorf("%v: got %d sources, want %d", c.in, n, len(c.want))
+			continue
+		}
+		for i := 0; i < n; i++ {
+			if srcs[i] != c.want[i] {
+				t.Errorf("%v: source %d = %v, want %v", c.in, i, srcs[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestEvalALUTable(t *testing.T) {
+	cases := []struct {
+		op      Op
+		a, b, i int64
+		want    int64
+	}{
+		{Add, 2, 3, 0, 5},
+		{Sub, 2, 3, 0, -1},
+		{Mul, -4, 3, 0, -12},
+		{Div, 7, 2, 0, 3},
+		{Div, 7, 0, 0, 0}, // division by zero yields 0
+		{Div, -7, 2, 0, -3},
+		{And, 0b1100, 0b1010, 0, 0b1000},
+		{Or, 0b1100, 0b1010, 0, 0b1110},
+		{Xor, 0b1100, 0b1010, 0, 0b0110},
+		{Shl, 1, 4, 0, 16},
+		{Shl, 1, 64, 0, 1},   // shift amount masked to 6 bits
+		{Shr, -1, 60, 0, 15}, // logical shift
+		{Slt, -1, 0, 0, 1},
+		{Slt, 0, 0, 0, 0},
+		{AddI, 10, 0, -3, 7},
+		{MulI, 10, 0, 3, 30},
+		{AndI, 0xff, 0, 0x0f, 0x0f},
+		{ShlI, 3, 0, 2, 12},
+		{ShrI, 16, 0, 2, 4},
+		{LoadI, 99, 99, 42, 42},
+	}
+	for _, c := range cases {
+		if got := EvalALU(c.op, c.a, c.b, c.i); got != c.want {
+			t.Errorf("EvalALU(%v, %d, %d, %d) = %d, want %d", c.op, c.a, c.b, c.i, got, c.want)
+		}
+	}
+}
+
+func TestEvalALUPanicsOnNonALU(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("EvalALU(Load, ...) should panic")
+		}
+	}()
+	EvalALU(Load, 0, 0, 0)
+}
+
+func TestBranchTakenTable(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b int64
+		want bool
+	}{
+		{Beq, 1, 1, true}, {Beq, 1, 2, false},
+		{Bne, 1, 1, false}, {Bne, 1, 2, true},
+		{Blt, -1, 0, true}, {Blt, 0, 0, false}, {Blt, 1, 0, false},
+		{Bge, 0, 0, true}, {Bge, 1, 0, true}, {Bge, -1, 0, false},
+	}
+	for _, c := range cases {
+		if got := BranchTaken(c.op, c.a, c.b); got != c.want {
+			t.Errorf("BranchTaken(%v, %d, %d) = %v, want %v", c.op, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBranchTakenPanicsOnNonBranch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("BranchTaken(Add, ...) should panic")
+		}
+	}()
+	BranchTaken(Add, 0, 0)
+}
+
+// Property: Blt and Bge are exact complements, as are Beq and Bne.
+func TestBranchComplements(t *testing.T) {
+	f := func(a, b int64) bool {
+		return BranchTaken(Blt, a, b) != BranchTaken(Bge, a, b) &&
+			BranchTaken(Beq, a, b) != BranchTaken(Bne, a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Xor is self-inverse and Add/Sub invert each other.
+func TestALUAlgebra(t *testing.T) {
+	f := func(a, b int64) bool {
+		x := EvalALU(Xor, a, b, 0)
+		if EvalALU(Xor, x, b, 0) != a {
+			return false
+		}
+		s := EvalALU(Add, a, b, 0)
+		return EvalALU(Sub, s, b, 0) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: Nop}, "nop"},
+		{Instruction{Op: Halt}, "halt"},
+		{Instruction{Op: LoadI, Dst: 3, Imm: -7}, "loadi r3, -7"},
+		{Instruction{Op: Load, Dst: 2, Src1: 1, Imm: 8}, "load r2, [r1+8]"},
+		{Instruction{Op: Store, Src1: 1, Src2: 4, Imm: -8}, "store r4, [r1-8]"},
+		{Instruction{Op: Beq, Src1: 1, Src2: 2, Imm: 5}, "beq r1, r2, @5"},
+		{Instruction{Op: Jmp, Imm: 9}, "jmp @9"},
+		{Instruction{Op: AddI, Dst: 1, Src1: 2, Imm: 3}, "addi r1, r2, 3"},
+		{Instruction{Op: Add, Dst: 1, Src1: 2, Src2: 3}, "add r1, r2, r3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestRegValid(t *testing.T) {
+	if !Reg(0).Valid() || !Reg(NumRegs-1).Valid() {
+		t.Error("in-range registers should be valid")
+	}
+	if Reg(NumRegs).Valid() {
+		t.Error("out-of-range register should be invalid")
+	}
+	if got := Reg(5).String(); got != "r5" {
+		t.Errorf("Reg(5).String() = %q", got)
+	}
+}
+
+func TestIsBranch(t *testing.T) {
+	for _, op := range []Op{Beq, Bne, Blt, Bge, Jmp} {
+		if !(Instruction{Op: op}).IsBranch() {
+			t.Errorf("%v should be a branch", op)
+		}
+	}
+	for _, op := range []Op{Add, Load, Store, Nop, Halt} {
+		if (Instruction{Op: op}).IsBranch() {
+			t.Errorf("%v should not be a branch", op)
+		}
+	}
+}

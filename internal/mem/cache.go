@@ -1,0 +1,247 @@
+// Package mem models the memory hierarchy: set-associative caches with LRU
+// replacement, fill-time-aware lines, and MSHR-limited miss handling,
+// composed into a three-level hierarchy (L1D, private L2, shared L3) in
+// front of DRAM.
+//
+// Caches hold timing state only (tags, recency, fill time); data values
+// live in the simulator's backing store. A line inserted by a miss is not
+// usable until its fill completes: lookups during the fill window are
+// misses, which the hierarchy satisfies by merging with the in-flight MSHR.
+// This matches the paper's requirement that doppelganger accesses behave
+// exactly like ordinary accesses with *no* modifications to the hierarchy —
+// the only special mode is Delay-on-Miss's speculative probe, which is a
+// property of how the core issues requests, not of the caches themselves.
+package mem
+
+import "fmt"
+
+// LineSize is the cache line size in bytes. Addresses are mapped to lines
+// by dropping the low bits.
+const LineSize = 64
+
+// LineAddr returns the line-aligned address.
+func LineAddr(addr uint64) uint64 { return addr &^ (LineSize - 1) }
+
+// CacheConfig sizes one cache level.
+type CacheConfig struct {
+	// SizeBytes is the total capacity.
+	SizeBytes int
+	// Ways is the set associativity.
+	Ways int
+	// Latency is the round-trip access latency in cycles for a hit at
+	// this level.
+	Latency uint64
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c CacheConfig) Sets() int { return c.SizeBytes / (LineSize * c.Ways) }
+
+// Validate reports configuration errors (non-power-of-two set counts, etc.).
+func (c CacheConfig) Validate() error {
+	if c.SizeBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("mem: cache size %d / ways %d must be positive", c.SizeBytes, c.Ways)
+	}
+	sets := c.Sets()
+	if sets <= 0 || sets*c.Ways*LineSize != c.SizeBytes {
+		return fmt.Errorf("mem: size %dB not divisible into %d-way sets of %dB lines",
+			c.SizeBytes, c.Ways, LineSize)
+	}
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("mem: set count %d is not a power of two", sets)
+	}
+	return nil
+}
+
+type line struct {
+	tag     uint64
+	valid   bool
+	dirty   bool   // written since fill; eviction produces writeback traffic
+	lastUse uint64 // recency timestamp for LRU
+	readyAt uint64 // cycle the fill completes; hits require readyAt <= now
+}
+
+// Cache is one set-associative, LRU-replacement cache level.
+type Cache struct {
+	cfg      CacheConfig
+	sets     [][]line
+	setMask  uint64
+	tagShift uint
+	clock    uint64 // monotonically increasing recency stamp
+
+	// Stats, by access class.
+	Accesses [numClasses]uint64
+	Hits     [numClasses]uint64
+	Misses   [numClasses]uint64
+}
+
+// NewCache builds a cache; invalid configurations panic since they are
+// programming errors in experiment setup.
+func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	sets := cfg.Sets()
+	c := &Cache{
+		cfg:     cfg,
+		sets:    make([][]line, sets),
+		setMask: uint64(sets - 1),
+	}
+	for s := uint64(sets); s > 1; s >>= 1 {
+		c.tagShift++
+	}
+	backing := make([]line, sets*cfg.Ways)
+	for i := range c.sets {
+		c.sets[i], backing = backing[:cfg.Ways], backing[cfg.Ways:]
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() CacheConfig { return c.cfg }
+
+func (c *Cache) index(addr uint64) (set uint64, tag uint64) {
+	la := LineAddr(addr) / LineSize
+	return la & c.setMask, la >> c.tagShift
+}
+
+func (c *Cache) find(addr uint64) *line {
+	set, tag := c.index(addr)
+	for i := range c.sets[set] {
+		if c.sets[set][i].valid && c.sets[set][i].tag == tag {
+			return &c.sets[set][i]
+		}
+	}
+	return nil
+}
+
+// Contains probes for a usable (fill-complete) line without changing any
+// state — no recency update, no statistics. Used for DoM's speculative L1
+// probe, prefetch filtering, and tests.
+func (c *Cache) Contains(addr uint64, now uint64) bool {
+	l := c.find(addr)
+	return l != nil && l.readyAt <= now
+}
+
+// Present reports whether the line is resident or in flight, regardless of
+// fill completion. No state changes.
+func (c *Cache) Present(addr uint64) bool { return c.find(addr) != nil }
+
+// MarkDirty flags the line as modified, if present.
+func (c *Cache) MarkDirty(addr uint64) {
+	if l := c.find(addr); l != nil {
+		l.dirty = true
+	}
+}
+
+// Touch updates the recency of the line if present and reports whether it
+// was. Used to apply DoM's delayed replacement updates at commit.
+func (c *Cache) Touch(addr uint64) bool {
+	if l := c.find(addr); l != nil {
+		c.clock++
+		l.lastUse = c.clock
+		return true
+	}
+	return false
+}
+
+// Access looks the line up at cycle now, counting statistics for the given
+// class. A line whose fill has not completed counts as a miss (the caller
+// merges with the in-flight MSHR). On a hit the recency is updated unless
+// updateLRU is false (DoM delayed replacement). It reports whether the
+// access hit.
+func (c *Cache) Access(addr uint64, now uint64, class Class, updateLRU bool) bool {
+	c.Accesses[class]++
+	if l := c.find(addr); l != nil && l.readyAt <= now {
+		if updateLRU {
+			c.clock++
+			l.lastUse = c.clock
+		}
+		c.Hits[class]++
+		return true
+	}
+	c.Misses[class]++
+	return false
+}
+
+// Insert fills the line with the given fill-completion time, evicting the
+// LRU way if the set is full. It returns the evicted line address and
+// whether the eviction was of a dirty line (a writeback). Re-inserting a
+// present line refreshes its recency and, if the line was still in flight,
+// moves its ready time earlier (never later).
+func (c *Cache) Insert(addr uint64, readyAt uint64) (evicted uint64, wasEvicted bool) {
+	ev, was, _ := c.InsertDirtyInfo(addr, readyAt)
+	return ev, was
+}
+
+// InsertDirtyInfo is Insert, additionally reporting whether the evicted
+// line was dirty (needs writing back to the next level).
+func (c *Cache) InsertDirtyInfo(addr uint64, readyAt uint64) (evicted uint64, wasEvicted, evictedDirty bool) {
+	set, tag := c.index(addr)
+	ways := c.sets[set]
+	c.clock++
+	for i := range ways {
+		if ways[i].valid && ways[i].tag == tag {
+			ways[i].lastUse = c.clock
+			if readyAt < ways[i].readyAt {
+				ways[i].readyAt = readyAt
+			}
+			return 0, false, false
+		}
+	}
+	for i := range ways {
+		if !ways[i].valid {
+			ways[i] = line{tag: tag, valid: true, lastUse: c.clock, readyAt: readyAt}
+			return 0, false, false
+		}
+	}
+	victim := 0
+	for i := 1; i < len(ways); i++ {
+		if ways[i].lastUse < ways[victim].lastUse {
+			victim = i
+		}
+	}
+	evicted = c.lineAddr(set, ways[victim].tag)
+	evictedDirty = ways[victim].dirty
+	ways[victim] = line{tag: tag, valid: true, lastUse: c.clock, readyAt: readyAt}
+	return evicted, true, evictedDirty
+}
+
+// Invalidate removes the line if present (coherence invalidation), and
+// reports whether it was present.
+func (c *Cache) Invalidate(addr uint64) bool {
+	if l := c.find(addr); l != nil {
+		l.valid = false
+		return true
+	}
+	return false
+}
+
+func (c *Cache) lineAddr(set, tag uint64) uint64 {
+	return ((tag << c.tagShift) | set) * LineSize
+}
+
+// TotalAccesses sums accesses over all classes.
+func (c *Cache) TotalAccesses() uint64 {
+	var t uint64
+	for _, v := range c.Accesses {
+		t += v
+	}
+	return t
+}
+
+// TotalMisses sums misses over all classes.
+func (c *Cache) TotalMisses() uint64 {
+	var t uint64
+	for _, v := range c.Misses {
+		t += v
+	}
+	return t
+}
+
+// ResetStats zeroes the statistics counters without disturbing contents,
+// so warmup traffic can be excluded from measurement.
+func (c *Cache) ResetStats() {
+	c.Accesses = [numClasses]uint64{}
+	c.Hits = [numClasses]uint64{}
+	c.Misses = [numClasses]uint64{}
+}

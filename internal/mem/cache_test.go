@@ -1,0 +1,203 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tinyCache() *Cache {
+	// 4 sets x 2 ways x 64B = 512B.
+	return NewCache(CacheConfig{SizeBytes: 512, Ways: 2, Latency: 5})
+}
+
+func TestCacheConfigValidate(t *testing.T) {
+	good := []CacheConfig{
+		{SizeBytes: 512, Ways: 2, Latency: 1},
+		{SizeBytes: 48 << 10, Ways: 12, Latency: 5},
+		{SizeBytes: 2 << 20, Ways: 8, Latency: 15},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("%+v should validate: %v", c, err)
+		}
+	}
+	bad := []CacheConfig{
+		{SizeBytes: 0, Ways: 2},
+		{SizeBytes: 512, Ways: 0},
+		{SizeBytes: 500, Ways: 2},        // not divisible into lines
+		{SizeBytes: 3 * 64 * 2, Ways: 2}, // 3 sets: not a power of two
+		{SizeBytes: -512, Ways: 2},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v should not validate", c)
+		}
+	}
+}
+
+func TestCacheSets(t *testing.T) {
+	cfg := CacheConfig{SizeBytes: 48 << 10, Ways: 12, Latency: 5}
+	if got := cfg.Sets(); got != 64 {
+		t.Errorf("48KiB/12-way: %d sets, want 64", got)
+	}
+}
+
+func TestCacheHitMiss(t *testing.T) {
+	c := tinyCache()
+	if c.Access(0x1000, 0, ClassDemand, true) {
+		t.Error("cold access should miss")
+	}
+	c.Insert(0x1000, 0)
+	if !c.Access(0x1000, 10, ClassDemand, true) {
+		t.Error("inserted line should hit")
+	}
+	if !c.Access(0x1020, 10, ClassDemand, true) {
+		t.Error("same-line offset should hit")
+	}
+	if c.Access(0x2000, 10, ClassDemand, true) {
+		t.Error("different line should miss")
+	}
+	if c.Accesses[ClassDemand] != 4 || c.Hits[ClassDemand] != 2 || c.Misses[ClassDemand] != 2 {
+		t.Errorf("stats = %d/%d/%d, want 4/2/2",
+			c.Accesses[ClassDemand], c.Hits[ClassDemand], c.Misses[ClassDemand])
+	}
+}
+
+func TestCacheFillTime(t *testing.T) {
+	c := tinyCache()
+	c.Insert(0x1000, 100) // fill completes at cycle 100
+	if c.Contains(0x1000, 50) {
+		t.Error("line must not be usable before its fill completes")
+	}
+	if !c.Present(0x1000) {
+		t.Error("in-flight line must be Present")
+	}
+	if c.Access(0x1000, 50, ClassDemand, true) {
+		t.Error("access during fill must miss")
+	}
+	if !c.Contains(0x1000, 100) {
+		t.Error("line must be usable at fill completion")
+	}
+	if !c.Access(0x1000, 101, ClassDemand, true) {
+		t.Error("access after fill must hit")
+	}
+}
+
+func TestCacheReinsertNeverDelaysFill(t *testing.T) {
+	c := tinyCache()
+	c.Insert(0x1000, 100)
+	c.Insert(0x1000, 500) // re-insert with a later fill: must not extend
+	if !c.Contains(0x1000, 100) {
+		t.Error("re-insert extended the fill time")
+	}
+	c.Insert(0x1000, 50) // earlier fill shortens
+	if !c.Contains(0x1000, 50) {
+		t.Error("re-insert did not shorten the fill time")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := tinyCache() // 4 sets, 2 ways; lines 64B; set = (addr/64)%4
+	// Three lines mapping to set 0: 0x000, 0x100, 0x200.
+	c.Insert(0x000, 0)
+	c.Insert(0x100, 0)
+	c.Access(0x000, 1, ClassDemand, true) // make 0x000 most recent
+	ev, evicted := c.Insert(0x200, 2)
+	if !evicted {
+		t.Fatal("full set must evict")
+	}
+	if ev != 0x100 {
+		t.Errorf("evicted %#x, want LRU 0x100", ev)
+	}
+	if !c.Contains(0x000, 10) || c.Contains(0x100, 10) || !c.Contains(0x200, 10) {
+		t.Error("wrong lines resident after eviction")
+	}
+}
+
+func TestCacheNoLRUUpdateMode(t *testing.T) {
+	c := tinyCache()
+	c.Insert(0x000, 0)
+	c.Insert(0x100, 0) // 0x000 is now LRU
+	// A DoM-speculative hit on 0x000 must NOT update recency.
+	c.Access(0x000, 1, ClassDemand, false)
+	ev, _ := c.Insert(0x200, 2)
+	if ev != 0x000 {
+		t.Errorf("evicted %#x, want 0x000 (recency not updated by delayed-replacement hit)", ev)
+	}
+	// Touch applies the delayed update.
+	c2 := tinyCache()
+	c2.Insert(0x000, 0)
+	c2.Insert(0x100, 0)
+	c2.Touch(0x000)
+	ev, _ = c2.Insert(0x200, 2)
+	if ev != 0x100 {
+		t.Errorf("evicted %#x, want 0x100 after Touch", ev)
+	}
+}
+
+func TestCacheInvalidate(t *testing.T) {
+	c := tinyCache()
+	c.Insert(0x1000, 0)
+	if !c.Invalidate(0x1000) {
+		t.Error("invalidate of resident line should report true")
+	}
+	if c.Present(0x1000) {
+		t.Error("invalidated line still present")
+	}
+	if c.Invalidate(0x1000) {
+		t.Error("invalidate of absent line should report false")
+	}
+}
+
+func TestCacheTotalsAndReset(t *testing.T) {
+	c := tinyCache()
+	c.Access(0x0, 0, ClassDemand, true)
+	c.Access(0x0, 0, ClassPrefetch, true)
+	c.Access(0x0, 0, ClassDoppelganger, true)
+	if c.TotalAccesses() != 3 || c.TotalMisses() != 3 {
+		t.Errorf("totals = %d/%d, want 3/3", c.TotalAccesses(), c.TotalMisses())
+	}
+	c.ResetStats()
+	if c.TotalAccesses() != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+}
+
+// Property: Contains implies Present, and inserting then probing at/after
+// the fill time always hits.
+func TestCacheContainsPresentProperty(t *testing.T) {
+	c := NewCache(CacheConfig{SizeBytes: 4096, Ways: 4, Latency: 1})
+	f := func(addr uint64, fill uint16) bool {
+		a := addr % (1 << 20)
+		c.Insert(a, uint64(fill))
+		if c.Contains(a, uint64(fill)-1) && fill > 0 {
+			// May legitimately hit if an earlier iteration inserted the
+			// same line with an earlier fill; accept.
+			_ = a
+		}
+		return c.Present(a) && c.Contains(a, uint64(fill)+1<<40)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the most recently accessed line in a set is never the one
+// evicted.
+func TestCacheLRUNeverEvictsMostRecent(t *testing.T) {
+	c := tinyCache()
+	f := func(seed uint8) bool {
+		set := uint64(seed % 4)
+		a := set * 64
+		b := a + 4*64 // same set
+		d := a + 8*64 // same set
+		c.Insert(a, 0)
+		c.Insert(b, 0)
+		c.Access(b, 1, ClassDemand, true) // b most recent
+		ev, evicted := c.Insert(d, 2)
+		return !evicted || ev != b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,355 @@
+package mem
+
+import "fmt"
+
+// Class labels the origin of an access for statistics. The hierarchy treats
+// all classes identically (the paper's point: doppelganger accesses are
+// ordinary accesses); the labels exist only for the Figure 8 access counts.
+type Class uint8
+
+// Access classes.
+const (
+	ClassDemand       Class = iota // architecturally required load/store
+	ClassDoppelganger              // address-predicted preload access
+	ClassPrefetch                  // stride prefetcher access
+	ClassWriteback                 // committed store traffic
+
+	numClasses
+)
+
+// String names the class for stats output.
+func (c Class) String() string {
+	switch c {
+	case ClassDemand:
+		return "demand"
+	case ClassDoppelganger:
+		return "doppelganger"
+	case ClassPrefetch:
+		return "prefetch"
+	case ClassWriteback:
+		return "writeback"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// Level identifies where in the hierarchy a request was satisfied.
+type Level uint8
+
+// Hierarchy levels.
+const (
+	LevelL1 Level = iota
+	LevelL2
+	LevelL3
+	LevelMem
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelL1:
+		return "L1"
+	case LevelL2:
+		return "L2"
+	case LevelL3:
+		return "L3"
+	case LevelMem:
+		return "mem"
+	default:
+		return fmt.Sprintf("level(%d)", uint8(l))
+	}
+}
+
+// HierarchyConfig sizes the whole memory system. The defaults used by the
+// experiments come from Table 1 of the paper (see core.DefaultConfig).
+type HierarchyConfig struct {
+	L1D CacheConfig
+	L2  CacheConfig
+	L3  CacheConfig
+	// MemLatency is the additional round-trip latency of a DRAM access
+	// beyond the L3 lookup, in cycles.
+	MemLatency uint64
+	// L1MSHRs bounds the number of outstanding L1 misses; further misses
+	// are rejected and must be retried (the load stays in the queue).
+	L1MSHRs int
+}
+
+// Validate checks all levels.
+func (c HierarchyConfig) Validate() error {
+	if err := c.L1D.Validate(); err != nil {
+		return fmt.Errorf("L1D: %w", err)
+	}
+	if err := c.L2.Validate(); err != nil {
+		return fmt.Errorf("L2: %w", err)
+	}
+	if err := c.L3.Validate(); err != nil {
+		return fmt.Errorf("L3: %w", err)
+	}
+	if c.L1MSHRs <= 0 {
+		return fmt.Errorf("L1MSHRs must be positive, got %d", c.L1MSHRs)
+	}
+	return nil
+}
+
+// mshr tracks one outstanding L1 miss. Prefetch fills are tracked so demand
+// accesses can merge with them, but they do not count against the MSHR
+// occupancy limit (modelling a separate prefetch queue).
+type mshr struct {
+	lineAddr uint64
+	doneAt   uint64 // cycle at which the fill completes
+	prefetch bool
+}
+
+// AccessResult describes the outcome of a memory request.
+type AccessResult struct {
+	// Latency is the round-trip latency in cycles (0 when Rejected or
+	// DelayedMiss).
+	Latency uint64
+	// Level is where the request was satisfied.
+	Level Level
+	// Rejected means no MSHR was available; retry later.
+	Rejected bool
+	// DelayedMiss means a DoM speculative access missed in the L1 and was
+	// therefore not performed (no state anywhere changed).
+	DelayedMiss bool
+	// Merged means the request hit an in-flight MSHR and shares its fill.
+	Merged bool
+}
+
+// Hierarchy is the three-level cache system plus DRAM timing and L1 MSHRs.
+// It is mostly-inclusive: fills insert into every level on the path.
+type Hierarchy struct {
+	cfg HierarchyConfig
+	L1D *Cache
+	L2  *Cache
+	L3  *Cache
+
+	mshrs []mshr
+
+	// DRAMAccesses counts requests that reached main memory.
+	DRAMAccesses uint64
+	// DRAMWrites counts dirty lines written back to main memory.
+	DRAMWrites uint64
+	// Writebacks counts dirty-line evictions at each level (L1, L2, L3).
+	Writebacks [3]uint64
+	// RejectedMSHR counts requests turned away by a full MSHR file.
+	RejectedMSHR uint64
+}
+
+// NewHierarchy builds the memory system; invalid configuration panics.
+func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
+	if err := cfg.Validate(); err != nil {
+		panic(fmt.Sprintf("mem: %v", err))
+	}
+	return &Hierarchy{
+		cfg: cfg,
+		L1D: NewCache(cfg.L1D),
+		L2:  NewCache(cfg.L2),
+		L3:  NewCache(cfg.L3),
+	}
+}
+
+// Config returns the hierarchy configuration.
+func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
+
+// expire releases MSHRs whose fills have completed by cycle now.
+func (h *Hierarchy) expire(now uint64) {
+	live := h.mshrs[:0]
+	for _, m := range h.mshrs {
+		if m.doneAt > now {
+			live = append(live, m)
+		}
+	}
+	h.mshrs = live
+}
+
+// findMSHR returns the in-flight miss covering the line, if any.
+func (h *Hierarchy) findMSHR(lineAddr uint64) (mshr, bool) {
+	for _, m := range h.mshrs {
+		if m.lineAddr == lineAddr {
+			return m, true
+		}
+	}
+	return mshr{}, false
+}
+
+// OutstandingMisses reports the number of occupied demand L1 MSHRs at cycle
+// now (prefetch fills excluded, as they do not count against the limit).
+func (h *Hierarchy) OutstandingMisses(now uint64) int {
+	h.expire(now)
+	return h.demandMSHRs()
+}
+
+func (h *Hierarchy) demandMSHRs() int {
+	n := 0
+	for _, m := range h.mshrs {
+		if !m.prefetch {
+			n++
+		}
+	}
+	return n
+}
+
+// AccessOptions modifies how a request is performed.
+type AccessOptions struct {
+	// DoMSpeculative makes the access a Delay-on-Miss speculative access:
+	// an L1 miss is not performed at all (DelayedMiss result), and an L1
+	// hit does not update replacement state (the core applies the update
+	// at commit via TouchL1).
+	DoMSpeculative bool
+	// NoMSHR performs the access without allocating (or being limited by)
+	// an L1 MSHR. Used for committed-store traffic, which this model
+	// treats as bandwidth-free.
+	NoMSHR bool
+	// Write marks the access as a store: the L1 line is dirtied, and its
+	// eventual eviction produces write-back traffic down the hierarchy.
+	Write bool
+	// Prefetch marks a prefetcher-initiated fill: it is dropped if the
+	// line is already resident or in flight, and its fill is tracked in a
+	// mergeable but non-limiting MSHR entry (a prefetch queue).
+	Prefetch bool
+}
+
+// Access performs a memory request for the line containing addr at cycle
+// now. Hits and misses update the caches; misses allocate an MSHR and fill
+// all levels on the path, with the fill completing only after the full miss
+// latency — lookups during the fill window merge with the in-flight MSHR.
+// Writes are modelled with read-for-ownership timing (write-allocate),
+// which is symmetric to reads at this fidelity.
+func (h *Hierarchy) Access(now, addr uint64, class Class, opts AccessOptions) AccessResult {
+	la := LineAddr(addr)
+	h.expire(now)
+
+	if opts.DoMSpeculative {
+		// Probe only: on miss nothing anywhere may change (that is the
+		// entire DoM guarantee), on hit the replacement update is delayed.
+		if h.L1D.Contains(la, now) {
+			h.L1D.Access(la, now, class, false)
+			return AccessResult{Latency: h.cfg.L1D.Latency, Level: LevelL1}
+		}
+		return AccessResult{DelayedMiss: true}
+	}
+
+	if opts.Prefetch && h.L1D.Present(la) {
+		// The line is resident or already being filled: drop the prefetch.
+		return AccessResult{Rejected: true}
+	}
+
+	// Decide miss handling before counting anything, so rejected requests
+	// leave no trace in the access statistics.
+	if !h.L1D.Contains(la, now) {
+		if m, ok := h.findMSHR(la); ok {
+			// Merge with the in-flight fill.
+			h.L1D.Access(la, now, class, false)
+			lat := m.doneAt - now
+			if lat < h.cfg.L1D.Latency {
+				lat = h.cfg.L1D.Latency
+			}
+			return AccessResult{Latency: lat, Level: LevelL2, Merged: true}
+		}
+		if !opts.NoMSHR && !opts.Prefetch && h.demandMSHRs() >= h.cfg.L1MSHRs {
+			h.RejectedMSHR++
+			return AccessResult{Rejected: true}
+		}
+	}
+
+	if h.L1D.Access(la, now, class, true) {
+		if opts.Write {
+			h.L1D.MarkDirty(la)
+		}
+		return AccessResult{Latency: h.cfg.L1D.Latency, Level: LevelL1}
+	}
+
+	latency := h.cfg.L1D.Latency
+	level := LevelMem
+	switch {
+	case h.L2.Access(la, now, class, true):
+		latency += h.cfg.L2.Latency
+		level = LevelL2
+	case h.L3.Access(la, now, class, true):
+		latency += h.cfg.L2.Latency + h.cfg.L3.Latency
+		level = LevelL3
+	default:
+		latency += h.cfg.L2.Latency + h.cfg.L3.Latency + h.cfg.MemLatency
+		h.DRAMAccesses++
+	}
+
+	// Fill the path (mostly-inclusive); copies become usable when the data
+	// arrives at the core. Dirty victims ripple write-back traffic down.
+	fillAt := now + latency
+	if ev, was, dirty := h.L1D.InsertDirtyInfo(la, fillAt); was && dirty {
+		h.Writebacks[0]++
+		h.writebackInto(h.L2, ev, fillAt, 1)
+	}
+	if level == LevelL3 || level == LevelMem {
+		if ev, was, dirty := h.L2.InsertDirtyInfo(la, fillAt); was && dirty {
+			h.Writebacks[1]++
+			h.writebackInto(h.L3, ev, fillAt, 2)
+		}
+	}
+	if level == LevelMem {
+		if _, was, dirty := h.L3.InsertDirtyInfo(la, fillAt); was && dirty {
+			h.Writebacks[2]++
+			h.DRAMWrites++
+		}
+	}
+	if opts.Write {
+		h.L1D.MarkDirty(la)
+	}
+	if !opts.NoMSHR {
+		h.mshrs = append(h.mshrs, mshr{lineAddr: la, doneAt: fillAt, prefetch: opts.Prefetch})
+	}
+	return AccessResult{Latency: latency, Level: level}
+}
+
+// writebackInto deposits a dirty victim into the next level (marking it
+// dirty there); if the next level misses, the line goes to memory.
+func (h *Hierarchy) writebackInto(next *Cache, addr, fillAt uint64, level int) {
+	if next.Present(addr) {
+		next.MarkDirty(addr)
+		return
+	}
+	if ev, was, dirty := next.InsertDirtyInfo(addr, fillAt); was && dirty {
+		h.Writebacks[level]++
+		if level == 1 {
+			h.writebackInto(h.L3, ev, fillAt, 2)
+		} else {
+			h.DRAMWrites++
+		}
+	}
+	next.MarkDirty(addr)
+}
+
+// TouchL1 applies a delayed replacement update for a DoM speculative hit
+// that has become non-speculative.
+func (h *Hierarchy) TouchL1(addr uint64) { h.L1D.Touch(LineAddr(addr)) }
+
+// ContainsL1 probes the L1 at cycle now without side effects.
+func (h *Hierarchy) ContainsL1(addr uint64, now uint64) bool {
+	return h.L1D.Contains(LineAddr(addr), now)
+}
+
+// PresentL1 reports whether the line is resident or being filled, without
+// side effects (used to filter redundant prefetches).
+func (h *Hierarchy) PresentL1(addr uint64) bool { return h.L1D.Present(LineAddr(addr)) }
+
+// Invalidate removes the line from every level (external coherence
+// invalidation) and reports whether any level held it.
+func (h *Hierarchy) Invalidate(addr uint64) bool {
+	la := LineAddr(addr)
+	any := h.L1D.Invalidate(la)
+	any = h.L2.Invalidate(la) || any
+	return h.L3.Invalidate(la) || any
+}
+
+// ResetStats clears all statistics counters (but not cache contents), so
+// warmup traffic is excluded from measurement.
+func (h *Hierarchy) ResetStats() {
+	h.L1D.ResetStats()
+	h.L2.ResetStats()
+	h.L3.ResetStats()
+	h.DRAMAccesses = 0
+	h.DRAMWrites = 0
+	h.Writebacks = [3]uint64{}
+	h.RejectedMSHR = 0
+}

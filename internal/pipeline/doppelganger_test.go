@@ -1,0 +1,364 @@
+package pipeline
+
+import (
+	"testing"
+
+	"doppelganger/internal/program"
+	"doppelganger/internal/secure"
+)
+
+// strideTrainer builds a program whose single load walks stride 8 for
+// enough iterations to train the predictor, then continues; extraIters can
+// break the stride to exercise the misprediction path.
+func strideTrainer(iters int, breakAt int) *program.Program {
+	b := program.NewBuilder("trainer")
+	const data = 0x20000
+	for i := 0; i < iters+8; i++ {
+		b.InitMem(data+uint64(i)*8, int64(i*3))
+	}
+	// Index table: mostly sequential; a break jumps backwards.
+	const idxT = 0x40000
+	for i := 0; i < iters; i++ {
+		v := int64(i)
+		if breakAt > 0 && i >= breakAt {
+			v = int64((i * 13) % iters) // breaks the stride
+		}
+		b.InitMem(idxT+uint64(i)*8, v)
+	}
+	b.LoadI(1, 0)
+	b.LoadI(2, int64(iters))
+	b.LoadI(3, idxT)
+	b.LoadI(6, 0)
+	loop := b.Here()
+	b.Load(4, 3, 0) // idx
+	b.ShlI(5, 4, 3)
+	b.AddI(5, 5, data)
+	b.Load(5, 5, 0) // dependent load: predictable until breakAt
+	b.Add(6, 6, 5)
+	b.AddI(3, 3, 8)
+	b.AddI(1, 1, 1)
+	b.Blt(1, 2, loop)
+	b.Store(6, 3, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestDoppelgangerVerifiedPath: a perfectly-strided dependent load gets
+// predictions, issues doppelgangers, verifies them, and never mispredicts.
+func TestDoppelgangerVerifiedPath(t *testing.T) {
+	p := strideTrainer(200, 0)
+	cfg := DefaultConfig()
+	cfg.Scheme = secure.NDAP
+	cfg.AddressPrediction = true
+	c, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.DoppPredictions == 0 || c.Stats.DoppVerified == 0 {
+		t.Errorf("no verified doppelgangers: preds=%d verified=%d",
+			c.Stats.DoppPredictions, c.Stats.DoppVerified)
+	}
+	if c.Stats.DoppMispredicted > c.Stats.DoppVerified/10 {
+		t.Errorf("too many mispredictions on a perfect stride: %d vs %d verified",
+			c.Stats.DoppMispredicted, c.Stats.DoppVerified)
+	}
+	ref := program.Run(p, 10_000_000)
+	if c.ArchState().Checksum() != ref.Checksum() {
+		t.Error("architectural state mismatch")
+	}
+}
+
+// TestDoppelgangerMispredictedPath: a stride break forces mispredictions;
+// the machine must discard preloads, reissue correctly, and commit the
+// right values.
+func TestDoppelgangerMispredictedPath(t *testing.T) {
+	p := strideTrainer(200, 60)
+	for _, scheme := range secure.Schemes() {
+		cfg := DefaultConfig()
+		cfg.Scheme = scheme
+		cfg.AddressPrediction = true
+		c, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(0, 50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if scheme != secure.Unsafe && c.Stats.DoppMispredicted == 0 {
+			t.Errorf("%v: stride break produced no mispredicted doppelgangers", scheme)
+		}
+		ref := program.Run(p, 10_000_000)
+		if c.ArchState().Checksum() != ref.Checksum() {
+			t.Errorf("%v: architectural state mismatch after mispredictions", scheme)
+		}
+	}
+}
+
+// TestStoreForwardsIntoPreload (§4.4): an older store whose address matches
+// a doppelganger's predicted address must override the preloaded value —
+// transparently, without suppressing the doppelganger's memory access.
+func TestStoreForwardsIntoPreload(t *testing.T) {
+	b := program.NewBuilder("stlf-dopp")
+	const (
+		guard = 0x8000
+		data  = 0x20000
+	)
+	const iters = 120
+	for i := 0; i < iters; i++ {
+		b.InitMem(guard+uint64(i)*64, 1)
+		b.InitMem(data+uint64(i)*8, 100+int64(i))
+	}
+	b.LoadI(1, 0)
+	b.LoadI(2, iters)
+	b.LoadI(3, guard)
+	b.LoadI(4, data)
+	b.LoadI(9, 0)
+	b.LoadI(10, 7777)
+	loop := b.Here()
+	b.Load(5, 3, 0) // slow guard keeps everything below speculative
+	skip := b.NewLabel()
+	b.Blt(5, 9, skip)
+	b.Bind(skip)
+	b.Store(10, 4, 0) // store to the exact address the next load reads
+	b.Load(6, 4, 0)   // must get 7777 via forwarding, never stale memory
+	b.Add(9, 9, 6)
+	b.AddI(3, 3, 64)
+	b.AddI(4, 4, 8)
+	b.AddI(1, 1, 1)
+	b.Blt(1, 2, loop)
+	b.Store(9, 4, 0)
+	b.Halt()
+	p := b.MustBuild()
+
+	ref := program.Run(p, 10_000_000)
+	for _, scheme := range secure.Schemes() {
+		cfg := DefaultConfig()
+		cfg.Scheme = scheme
+		cfg.AddressPrediction = true
+		c, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(0, 50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if c.ArchState().Checksum() != ref.Checksum() {
+			t.Errorf("%v: store-to-load forwarding into preloads produced wrong state", scheme)
+		}
+	}
+}
+
+// TestMemoryOrderViolationSquash: a load that speculates past an older
+// store with an unresolved address and consumes the wrong value must be
+// squashed and re-executed when the store resolves.
+func TestMemoryOrderViolationSquash(t *testing.T) {
+	b := program.NewBuilder("violation")
+	const data = 0x20000
+	const iters = 60
+	for i := 0; i < iters; i++ {
+		b.InitMem(data+uint64(i)*8, int64(i))
+		// Cold lines to make the store's address computation slow.
+		b.InitMem(0x8000+uint64(i)*64, int64(i))
+	}
+	b.LoadI(1, 0)
+	b.LoadI(2, iters)
+	b.LoadI(3, 0x8000)
+	b.LoadI(4, data)
+	b.LoadI(9, 0)
+	b.LoadI(10, 5555)
+	loop := b.Here()
+	b.Load(5, 3, 0)   // slow load
+	b.AndI(5, 5, 0)   // always zero, but data-dependent (resolves late)
+	b.Add(6, 4, 5)    // store address = r4 + slow-zero
+	b.Store(10, 6, 0) // address resolves late
+	b.Load(7, 4, 0)   // same address: issues early, must be fixed up
+	b.Add(9, 9, 7)
+	b.AddI(3, 3, 64)
+	b.AddI(4, 4, 8)
+	b.AddI(1, 1, 1)
+	b.Blt(1, 2, loop)
+	b.Store(9, 4, 0)
+	b.Halt()
+	p := b.MustBuild()
+
+	ref := program.Run(p, 10_000_000)
+	if ref.Regs[9] != 5555*iters {
+		t.Fatalf("reference r9 = %d, want %d", ref.Regs[9], 5555*iters)
+	}
+	for _, scheme := range secure.Schemes() {
+		for _, ap := range []bool{false, true} {
+			cfg := DefaultConfig()
+			cfg.Scheme = scheme
+			cfg.AddressPrediction = ap
+			c, err := New(cfg, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Run(0, 50_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if c.ArchState().Checksum() != ref.Checksum() {
+				t.Errorf("%v ap=%v: wrong state after store-load aliasing", scheme, ap)
+			}
+		}
+	}
+}
+
+// TestInvalidationSnoop (§4.5): an external invalidation matching an
+// in-flight load is noted and takes effect at propagation; the final state
+// remains correct and the squash is visible in the statistics.
+func TestInvalidationSnoop(t *testing.T) {
+	b := program.NewBuilder("inval")
+	const data = 0x20000
+	b.InitMem(data, 42)
+	b.LoadI(1, data)
+	// A long prefix so the load sits in flight when we inject.
+	for i := 0; i < 12; i++ {
+		b.Mul(2, 1, 1)
+		b.Div(2, 2, 1)
+	}
+	b.Load(3, 1, 0)
+	b.AddI(3, 3, 1)
+	b.Halt()
+	p := b.MustBuild()
+
+	cfg := DefaultConfig()
+	c, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step until the load is in the LQ, then invalidate its line.
+	injected := false
+	for !c.Halted() && c.Cycle() < 100000 {
+		c.Step()
+		if !injected && c.Cycle() == 20 {
+			injected = c.InjectInvalidation(data)
+		}
+	}
+	if !c.Halted() {
+		t.Fatal("did not halt")
+	}
+	if !injected {
+		t.Skip("load was not in flight at injection time")
+	}
+	if got := c.ArchRegs()[3]; got != 43 {
+		t.Errorf("r3 = %d, want 43 (invalidation must not corrupt results)", got)
+	}
+}
+
+func TestRingBuffer(t *testing.T) {
+	r := newRing(4)
+	if !r.empty() || r.full() {
+		t.Fatal("fresh ring state wrong")
+	}
+	a := r.push()
+	b := r.push()
+	c := r.push()
+	d := r.push()
+	if !r.full() || r.len() != 4 {
+		t.Fatal("ring should be full")
+	}
+	if r.headIdx() != a || r.tailIdx() != d {
+		t.Fatal("head/tail wrong")
+	}
+	if r.at(0) != a || r.at(1) != b || r.at(3) != d {
+		t.Fatal("at() wrong")
+	}
+	if got := r.popHead(); got != a {
+		t.Fatalf("popHead = %d, want %d", got, a)
+	}
+	if got := r.popTail(); got != d {
+		t.Fatalf("popTail = %d, want %d", got, d)
+	}
+	e := r.push() // wraps
+	if r.len() != 3 || r.tailIdx() != e {
+		t.Fatal("wraparound push wrong")
+	}
+	if r.at(0) != b || r.at(1) != c || r.at(2) != e {
+		t.Fatal("order after wrap wrong")
+	}
+}
+
+func TestRingPanics(t *testing.T) {
+	r := newRing(1)
+	r.push()
+	func() {
+		defer func() { _ = recover() }()
+		r.push()
+		t.Error("push on full ring should panic")
+	}()
+	r.popHead()
+	func() {
+		defer func() { _ = recover() }()
+		r.popHead()
+		t.Error("pop on empty ring should panic")
+	}()
+}
+
+func TestDumpState(t *testing.T) {
+	p := strideTrainer(50, 0)
+	cfg := DefaultConfig()
+	cfg.AddressPrediction = true
+	c, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		c.Step()
+	}
+	out := c.DumpState(8)
+	if len(out) == 0 {
+		t.Error("DumpState produced no output")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	p := strideTrainer(10, 0)
+	bad := []func(*Config){
+		func(c *Config) { c.DecodeWidth = 0 },
+		func(c *Config) { c.ROBSize = 0 },
+		func(c *Config) { c.LoadPorts = 0 },
+		func(c *Config) { c.Scheme = secure.Scheme(99) },
+		func(c *Config) { c.ALULatency = 0 },
+		func(c *Config) { c.Memory.L1MSHRs = 0 },
+		func(c *Config) { c.Stride.Entries = 7 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if _, err := New(cfg, p); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestRunCycleLimit(t *testing.T) {
+	b := program.NewBuilder("spin")
+	l := b.Here()
+	b.Jmp(l)
+	b.Halt()
+	c, err := New(DefaultConfig(), b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0, 1000); err == nil {
+		t.Error("cycle limit should surface as an error")
+	}
+}
+
+func TestRunInstructionLimit(t *testing.T) {
+	p := strideTrainer(1000, 0)
+	c, err := New(DefaultConfig(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(500, 0); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.Committed < 500 || c.Stats.Committed > 520 {
+		t.Errorf("committed %d instructions, want ~500", c.Stats.Committed)
+	}
+}

@@ -1,0 +1,375 @@
+package pipeline
+
+import (
+	"testing"
+
+	"doppelganger/internal/program"
+	"doppelganger/internal/secure"
+)
+
+// TestExtensionsCorrectness runs the fuzz corpus through every extension
+// configuration: the extra schemes, the context/hybrid predictors, gshare,
+// and DoM+VP. Architectural state must always match the interpreter.
+func TestExtensionsCorrectness(t *testing.T) {
+	type variant struct {
+		name   string
+		mutate func(*Config)
+	}
+	variants := []variant{
+		{"nda-s", func(c *Config) { c.Scheme = secure.NDAS }},
+		{"nda-s+ap", func(c *Config) { c.Scheme = secure.NDAS; c.AddressPrediction = true }},
+		{"stt-spectre", func(c *Config) { c.Scheme = secure.STTSpectre }},
+		{"stt-spectre+ap", func(c *Config) { c.Scheme = secure.STTSpectre; c.AddressPrediction = true }},
+		{"dom+vp", func(c *Config) { c.Scheme = secure.DoM; c.ValuePrediction = true }},
+		{"gshare", func(c *Config) { c.BranchPredictorKind = BranchGShare }},
+		{"gshare+ap", func(c *Config) { c.BranchPredictorKind = BranchGShare; c.AddressPrediction = true }},
+		{"context+ap", func(c *Config) {
+			c.AddressPrediction = true
+			c.AddressPredictorKind = PredictorContext
+		}},
+		{"hybrid+ap", func(c *Config) {
+			c.AddressPrediction = true
+			c.AddressPredictorKind = PredictorHybrid
+		}},
+		{"hybrid+ap+gshare+dom", func(c *Config) {
+			c.Scheme = secure.DoM
+			c.AddressPrediction = true
+			c.AddressPredictorKind = PredictorHybrid
+			c.BranchPredictorKind = BranchGShare
+		}},
+	}
+	for seed := 1; seed <= 8; seed++ {
+		p := randomProgram(uint64(seed)*555, 12+seed, 60)
+		ref := program.Run(p, 5_000_000)
+		refSum := ref.Checksum()
+		for _, v := range variants {
+			cfg := DefaultConfig()
+			cfg.SelfCheck = seed <= 2 // full invariant checking on a subset
+			v.mutate(&cfg)
+			c, err := New(cfg, p)
+			if err != nil {
+				t.Fatalf("%s: %v", v.name, err)
+			}
+			if err := c.Run(0, 200_000_000); err != nil {
+				t.Fatalf("seed %d %s: %v", seed, v.name, err)
+			}
+			if c.ArchState().Checksum() != refSum {
+				t.Errorf("seed %d %s: architectural state mismatch", seed, v.name)
+			}
+		}
+	}
+}
+
+// TestNDAStrictSlowerThanPermissive: strict propagation can only delay more.
+func TestNDAStrictSlowerThanPermissive(t *testing.T) {
+	p := gatedDependentOp()
+	run := func(s secure.Scheme) uint64 {
+		cfg := DefaultConfig()
+		cfg.Scheme = s
+		cfg.PrefetchDegree = 0
+		c, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(0, 100_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats.Cycles
+	}
+	ndap := run(secure.NDAP)
+	ndas := run(secure.NDAS)
+	if ndas <= ndap {
+		t.Errorf("NDA-S (%d cycles) should be slower than NDA-P (%d)", ndas, ndap)
+	}
+}
+
+// TestSTTSpectreWeakerThanFuturistic: under the Spectre taint model, loads
+// made speculative only by unresolved store addresses are untainted, so a
+// store-shadow-heavy pattern runs faster than under full STT.
+func TestSTTSpectreWeakerThanFuturistic(t *testing.T) {
+	b := program.NewBuilder("store-shadows")
+	const (
+		slow = 0x8000
+		data = 0x20000
+		side = 0x60000
+	)
+	const iters = 64
+	for i := 0; i < iters; i++ {
+		b.InitMem(slow+uint64(i)*64, 0)
+		b.InitMem(data+uint64(i)*8, int64(i%32))
+	}
+	b.LoadI(1, 0)
+	b.LoadI(2, iters)
+	b.LoadI(3, slow)
+	b.LoadI(4, data)
+	b.LoadI(10, 1)
+	loop := b.Here()
+	// A store whose address depends on a slow load: a long data shadow
+	// with no control speculation involved.
+	b.Load(5, 3, 0) // slow (cold line)
+	b.AndI(5, 5, 0) // always 0, resolves late
+	b.Add(6, 4, 5)  // store address
+	b.Store(10, 6, 0)
+	// Under the data shadow: a load feeding a dependent (transmitter) load.
+	b.Load(7, 4, 8)
+	b.ShlI(8, 7, 3)
+	b.AddI(8, 8, side)
+	b.Load(9, 8, 0) // transmitter: tainted under STT, clean under Spectre model
+	b.AddI(3, 3, 64)
+	b.AddI(4, 4, 8)
+	b.AddI(1, 1, 1)
+	b.Blt(1, 2, loop)
+	b.Halt()
+	p := b.MustBuild()
+
+	run := func(s secure.Scheme) (uint64, uint64) {
+		cfg := DefaultConfig()
+		cfg.Scheme = s
+		cfg.PrefetchDegree = 0
+		c, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(0, 100_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats.Cycles, c.Stats.STTTaintStalls
+	}
+	stt, sttStalls := run(secure.STT)
+	spectre, spectreStalls := run(secure.STTSpectre)
+	if spectreStalls >= sttStalls {
+		t.Errorf("Spectre-model stalls (%d) should be fewer than futuristic (%d)", spectreStalls, sttStalls)
+	}
+	if float64(spectre) > 1.02*float64(stt) {
+		t.Errorf("STT-Spectre (%d cycles) should not be materially slower than STT (%d)", spectre, stt)
+	}
+}
+
+// TestDoMValuePrediction: on value-predictable delayed loads, DoM+VP makes
+// predictions, validates them, and squashes mispredictions — and the paper's
+// claim holds: address prediction beats value prediction on the same kernel
+// when values are unpredictable but addresses are not.
+func TestDoMValuePrediction(t *testing.T) {
+	// Kernel: gated stream whose *values* are a clean counter (value-
+	// predictable) — VP's best case.
+	build := func(valueStride int64, noisy bool) *program.Program {
+		b := program.NewBuilder("vp-kernel")
+		const data = 0x100000
+		st := uint64(7)
+		for i := 0; i < 4000; i++ {
+			v := int64(i) * valueStride
+			if noisy {
+				st = st*6364136223846793005 + 1
+				v = int64(st % 1000)
+			}
+			b.InitMem(data+uint64(i)*64, v)
+		}
+		b.LoadI(1, data)
+		b.LoadI(2, data+4000*64)
+		b.LoadI(3, 0)
+		b.LoadI(4, -1)
+		loop := b.Here()
+		b.Load(5, 1, 0)
+		skip := b.NewLabel()
+		b.Blt(5, 4, skip) // never taken; resolution waits the load
+		b.Add(3, 3, 5)
+		b.Bind(skip)
+		b.AddI(1, 1, 64)
+		b.Blt(1, 2, loop)
+		b.Store(3, 2, 0)
+		b.Halt()
+		return b.MustBuild()
+	}
+
+	run := func(p *program.Program, vp, ap bool) (*Core, uint64) {
+		cfg := DefaultConfig()
+		cfg.Scheme = secure.DoM
+		cfg.ValuePrediction = vp
+		cfg.AddressPrediction = ap
+		cfg.PrefetchDegree = 0
+		c, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(0, 200_000_000); err != nil {
+			t.Fatal(err)
+		}
+		ref := program.Run(p, 10_000_000)
+		if c.ArchState().Checksum() != ref.Checksum() {
+			t.Fatal("architectural state mismatch")
+		}
+		return c, c.Stats.Cycles
+	}
+
+	clean := build(3, false)
+	cVP, vpCycles := run(clean, true, false)
+	if cVP.Stats.VPPredictions == 0 || cVP.Stats.VPCorrect == 0 {
+		t.Errorf("no value predictions on a counter-valued stream: pred=%d correct=%d",
+			cVP.Stats.VPPredictions, cVP.Stats.VPCorrect)
+	}
+	_, domCycles := run(clean, false, false)
+	if vpCycles >= domCycles {
+		t.Errorf("DoM+VP (%d cycles) should beat plain DoM (%d) on value-predictable data", vpCycles, domCycles)
+	}
+
+	// Noisy values, strided addresses: VP mispredicts (and must squash,
+	// staying correct), AP wins.
+	noisy := build(0, true)
+	cVPn, vpNoisy := run(noisy, true, false)
+	if cVPn.Stats.VPPredictions > 0 && cVPn.Stats.VPMispredicted == 0 {
+		t.Error("noisy values produced predictions but no mispredictions")
+	}
+	_, apNoisy := run(noisy, false, true)
+	if apNoisy >= vpNoisy {
+		t.Errorf("DoM+AP (%d cycles) should beat DoM+VP (%d) when values are noisy but addresses stride (§2.3)",
+			apNoisy, vpNoisy)
+	}
+}
+
+// TestHybridPredictorCoversPointerChains: the context predictor covers a
+// fixed pointer chain the stride table cannot — the paper's future-work
+// direction quantified.
+func TestHybridPredictorCoversPointerChains(t *testing.T) {
+	p := buildSerialChain(400, false)
+	run := func(kind AddressPredictorKind) *Core {
+		cfg := DefaultConfig()
+		cfg.Scheme = secure.NDAP
+		cfg.AddressPrediction = true
+		cfg.AddressPredictorKind = kind
+		c, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(0, 200_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	stride := run(PredictorStride)
+	hybrid := run(PredictorHybrid)
+	if stride.Stats.Coverage() > 0.05 {
+		t.Errorf("stride coverage %.2f on a random chain, want ~0", stride.Stats.Coverage())
+	}
+	// The chain repeats after the walk? It does not (single traversal), so
+	// the context predictor only helps once transitions repeat; run a
+	// two-lap chain instead for the positive case.
+	p2 := buildTwoLapChain(300)
+	strideTwo := runOn(t, p2, PredictorStride)
+	hybridTwo := runOn(t, p2, PredictorHybrid)
+	if hybridTwo.Stats.Coverage() <= strideTwo.Stats.Coverage()+0.2 {
+		t.Errorf("hybrid coverage %.2f not clearly above stride %.2f on a repeating chain",
+			hybridTwo.Stats.Coverage(), strideTwo.Stats.Coverage())
+	}
+	if hybridTwo.Stats.Cycles >= strideTwo.Stats.Cycles {
+		t.Errorf("hybrid (%d cycles) should beat stride (%d) on a repeating pointer chain",
+			hybridTwo.Stats.Cycles, strideTwo.Stats.Cycles)
+	}
+	_ = hybrid
+}
+
+func runOn(t *testing.T, p *program.Program, kind AddressPredictorKind) *Core {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Scheme = secure.NDAP
+	cfg.AddressPrediction = true
+	cfg.AddressPredictorKind = kind
+	c, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0, 500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ref := program.Run(p, 50_000_000)
+	if c.ArchState().Checksum() != ref.Checksum() {
+		t.Fatal("architectural state mismatch")
+	}
+	return c
+}
+
+// buildTwoLapChain walks a randomised pointer cycle twice, so address
+// transitions repeat and a Markov predictor can learn them.
+func buildTwoLapChain(nodes int) *program.Program {
+	b := program.NewBuilder("twolap")
+	const arena = 0x400_0000
+	perm := make([]int, nodes)
+	for i := range perm {
+		perm[i] = i
+	}
+	st := uint64(777)
+	for i := nodes - 1; i > 0; i-- {
+		st = st*6364136223846793005 + 1442695040888963407
+		j := int(st % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	addrOf := func(k int) uint64 { return arena + uint64(perm[k])*64 }
+	for k := 0; k < nodes; k++ {
+		b.InitMem(addrOf(k), int64(addrOf((k+1)%nodes))) // cycle
+	}
+	b.InitReg(1, int64(addrOf(0)))
+	b.LoadI(2, 0)
+	b.LoadI(3, int64(2*nodes)) // two laps
+	loop := b.Here()
+	b.Load(1, 1, 0)
+	b.AddI(2, 2, 1)
+	b.Blt(2, 3, loop)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestGShareBeatsBimodalOnCorrelatedBranches: a strictly alternating branch
+// defeats a bimodal counter but is perfectly predictable from one bit of
+// history.
+func TestGShareBeatsBimodalOnCorrelatedBranches(t *testing.T) {
+	b := program.NewBuilder("alternating")
+	b.LoadI(1, 0)
+	b.LoadI(2, 4000)
+	b.LoadI(3, 0)
+	loop := b.Here()
+	b.AndI(4, 1, 1) // parity of the counter
+	skip := b.NewLabel()
+	b.Beq(4, 3, skip) // taken on even iterations: strict alternation
+	b.AddI(3, 3, 0)
+	b.Bind(skip)
+	b.AddI(1, 1, 1)
+	b.Blt(1, 2, loop)
+	b.Halt()
+	p := b.MustBuild()
+
+	run := func(kind BranchPredictorKind) uint64 {
+		cfg := DefaultConfig()
+		cfg.BranchPredictorKind = kind
+		c, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(0, 100_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats.BranchMispredicts
+	}
+	bimodal := run(BranchBimodal)
+	gshare := run(BranchGShare)
+	if gshare*4 > bimodal {
+		t.Errorf("gshare mispredicts (%d) should be far below bimodal (%d) on alternating branches",
+			gshare, bimodal)
+	}
+}
+
+// TestVPConfigExclusions: value prediction refuses invalid combinations.
+func TestVPConfigExclusions(t *testing.T) {
+	p := buildSerialChain(10, false)
+	cfg := DefaultConfig()
+	cfg.Scheme = secure.DoM
+	cfg.ValuePrediction = true
+	cfg.AddressPrediction = true
+	if _, err := New(cfg, p); err == nil {
+		t.Error("VP+AP should be rejected")
+	}
+	cfg = DefaultConfig()
+	cfg.Scheme = secure.STT
+	cfg.ValuePrediction = true
+	if _, err := New(cfg, p); err == nil {
+		t.Error("VP outside DoM should be rejected")
+	}
+}

@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"testing"
+
+	"doppelganger/internal/program"
+)
+
+// buildSerialChain lays out a randomised pointer chain, one node per cache
+// line, optionally inserting a 50/50 data-dependent branch per hop.
+func buildSerialChain(nodes int, withBranch bool) *program.Program {
+	b := program.NewBuilder("serial_chain")
+	const arena = 0x400_0000
+	perm := make([]int, nodes)
+	for i := range perm {
+		perm[i] = i
+	}
+	st := uint64(12345)
+	for i := nodes - 1; i > 0; i-- {
+		st = st*6364136223846793005 + 1442695040888963407
+		j := int(st % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	addrOf := func(k int) uint64 { return arena + uint64(perm[k])*64 }
+	for k := 0; k < nodes-1; k++ {
+		b.InitMem(addrOf(k), int64(addrOf(k+1)))
+		st = st*6364136223846793005 + 1
+		b.InitMem(addrOf(k)+8, int64(st%100))
+	}
+	b.InitMem(addrOf(nodes-1), 0)
+	b.InitReg(1, int64(addrOf(0)))
+	b.LoadI(2, 0)
+	b.LoadI(4, 50)
+	b.LoadI(3, 0)
+	loop := b.Here()
+	if withBranch {
+		b.Load(5, 1, 8) // payload (same line as the pointer)
+		skip := b.NewLabel()
+		b.Blt(5, 4, skip)
+		b.Add(3, 3, 5)
+		b.Bind(skip)
+	}
+	b.Load(1, 1, 0)
+	b.Bne(1, 2, loop)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// missLatency is the full L1-miss-to-DRAM round trip under DefaultConfig.
+func missLatency(cfg Config) uint64 {
+	return cfg.Memory.L1D.Latency + cfg.Memory.L2.Latency +
+		cfg.Memory.L3.Latency + cfg.Memory.MemLatency
+}
+
+// TestSerialChainLatency pins the core's fundamental timing: a dependent
+// pointer chain through DRAM must take at least the miss latency per hop —
+// no mechanism may leak the next address early.
+func TestSerialChainLatency(t *testing.T) {
+	const nodes = 1000
+	p := buildSerialChain(nodes, false)
+	cfg := DefaultConfig()
+	cfg.PrefetchDegree = 0
+	c, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0, 100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	perHop := float64(c.Stats.Cycles) / nodes
+	if min := float64(missLatency(cfg)); perHop < min {
+		t.Errorf("chain ran at %.1f cycles/hop, below the %v-cycle miss latency: dependency enforcement broken", perHop, min)
+	}
+	if perHop > float64(missLatency(cfg))+10 {
+		t.Errorf("chain ran at %.1f cycles/hop, far above the miss latency: pipelining broken", perHop)
+	}
+}
+
+// TestBranchChainLatency extends the chain with a same-line payload branch:
+// the branch may not accelerate the chain (a regression test for the
+// instant-cache-fill bug where a same-line access bypassed the in-flight
+// miss).
+func TestBranchChainLatency(t *testing.T) {
+	const nodes = 800
+	cfg := DefaultConfig()
+	cfg.PrefetchDegree = 0
+
+	run := func(withBranch bool) uint64 {
+		p := buildSerialChain(nodes, withBranch)
+		c, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(0, 100_000_000); err != nil {
+			t.Fatal(err)
+		}
+		ref := program.Run(p, 10_000_000)
+		if got := c.ArchState().Checksum(); got != ref.Checksum() {
+			t.Fatalf("architectural state mismatch (withBranch=%v)", withBranch)
+		}
+		return c.Stats.Cycles
+	}
+
+	plain := run(false)
+	branched := run(true)
+	if branched < plain {
+		t.Errorf("adding a dependent branch made the chain faster (%d < %d cycles): timing leak", branched, plain)
+	}
+}

@@ -1,0 +1,272 @@
+package pipeline
+
+import (
+	"testing"
+
+	"doppelganger/internal/program"
+	"doppelganger/internal/secure"
+)
+
+// gatedDependentOp builds: a load under a slow-resolving shadow feeding an
+// ALU chain — NDA-P must delay the dependents, STT must not.
+func gatedDependentOp() *program.Program {
+	b := program.NewBuilder("gated-dep")
+	const (
+		guard = 0x8000  // cold line per iteration: slow branch resolution
+		data  = 0x20000 // warm data
+	)
+	for i := 0; i < 64; i++ {
+		b.InitMem(guard+uint64(i)*64, 1)
+		b.InitMem(data+uint64(i)*8, int64(i))
+	}
+	b.LoadI(1, 0)     // counter
+	b.LoadI(2, 64)    // iterations
+	b.LoadI(3, guard) // guard pointer
+	b.LoadI(4, data)  // data pointer
+	b.LoadI(9, 0)
+	loop := b.Here()
+	b.Load(5, 3, 0) // guard load: cold miss
+	skip := b.NewLabel()
+	b.Blt(5, 9, skip) // never taken, but resolves only when the miss returns
+	b.Load(6, 4, 0)   // data load: under the guard's shadow
+	// Dependent ALU chain on the speculative load.
+	b.Mul(7, 6, 6)
+	b.Add(8, 7, 6)
+	b.Xor(9, 9, 8)
+	b.LoadI(9, 0)
+	b.Bind(skip)
+	b.AddI(3, 3, 64)
+	b.AddI(4, 4, 8)
+	b.AddI(1, 1, 1)
+	b.Blt(1, 2, loop)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// TestNDADelaysPropagationSTTDoesNot: on load-dependent ALU work under long
+// shadows, NDA-P must be slower than STT (STT executes dependent
+// non-transmitters; NDA-P blocks them).
+func TestNDADelaysPropagationSTTDoesNot(t *testing.T) {
+	p := gatedDependentOp()
+	run := func(s secure.Scheme) uint64 {
+		cfg := DefaultConfig()
+		cfg.Scheme = s
+		cfg.PrefetchDegree = 0
+		c, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(0, 50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats.Cycles
+	}
+	unsafe := run(secure.Unsafe)
+	nda := run(secure.NDAP)
+	stt := run(secure.STT)
+	if nda <= unsafe {
+		t.Errorf("NDA-P (%d) not slower than unsafe (%d) with dependent work under shadows", nda, unsafe)
+	}
+	if stt >= nda {
+		t.Errorf("STT (%d) not faster than NDA-P (%d): dependent ILP not permitted", stt, nda)
+	}
+}
+
+// TestSTTBlocksTaintedTransmitter: a load whose address derives from a
+// speculatively loaded value must issue later under STT than unsafe.
+func TestSTTBlocksTaintedTransmitter(t *testing.T) {
+	b := program.NewBuilder("taint-gate")
+	const (
+		guard = 0x8000
+		idxT  = 0x20000
+		data  = 0x40000
+	)
+	for i := 0; i < 32; i++ {
+		b.InitMem(guard+uint64(i)*64, 1)
+		b.InitMem(idxT+uint64(i)*8, int64(i*7%32))
+		b.InitMem(data+uint64(i)*8, int64(i))
+	}
+	b.LoadI(1, 0)
+	b.LoadI(2, 32)
+	b.LoadI(3, guard)
+	b.LoadI(4, idxT)
+	b.LoadI(9, 0)
+	loop := b.Here()
+	b.Load(5, 3, 0) // slow guard
+	skip := b.NewLabel()
+	b.Blt(5, 9, skip) // never taken; slow resolution
+	b.Load(6, 4, 0)   // idx: speculative, tainted under STT
+	b.ShlI(7, 6, 3)
+	b.AddI(7, 7, data)
+	b.Load(8, 7, 0) // transmitter: tainted address
+	b.Bind(skip)
+	b.AddI(3, 3, 64)
+	b.AddI(4, 4, 8)
+	b.AddI(1, 1, 1)
+	b.Blt(1, 2, loop)
+	b.Halt()
+	p := b.MustBuild()
+
+	run := func(s secure.Scheme) (uint64, uint64) {
+		cfg := DefaultConfig()
+		cfg.Scheme = s
+		cfg.PrefetchDegree = 0
+		c, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(0, 50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		return c.Stats.Cycles, c.Stats.STTTaintStalls
+	}
+	unsafe, unsafeStalls := run(secure.Unsafe)
+	stt, sttStalls := run(secure.STT)
+	if sttStalls == 0 {
+		t.Error("STT recorded no taint stalls although transmitters had tainted addresses")
+	}
+	if unsafeStalls != 0 {
+		t.Errorf("unsafe baseline recorded %d taint stalls", unsafeStalls)
+	}
+	if stt < unsafe {
+		t.Errorf("STT (%d cycles) faster than unsafe (%d)", stt, unsafe)
+	}
+}
+
+// TestDoMDelaysSpeculativeMisses: speculative L1 misses must be delayed
+// (counter visible) and cost cycles; without speculation there is nothing
+// to delay.
+func TestDoMDelaysSpeculativeMisses(t *testing.T) {
+	p := gatedDependentOp() // data loads sit under guard shadows
+	cfg := DefaultConfig()
+	cfg.Scheme = secure.DoM
+	cfg.PrefetchDegree = 0
+	c, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.Stats.DoMDelayedMisses == 0 {
+		t.Error("no delayed misses recorded although speculative loads miss the L1")
+	}
+
+	// A branch-free program has no control shadows: nothing may be delayed.
+	b := program.NewBuilder("nobranch")
+	b.LoadI(1, 0x9000)
+	for i := 0; i < 16; i++ {
+		b.Load(2, 1, int64(i*64))
+	}
+	b.Halt()
+	c2, err := New(cfg, b.MustBuild())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Run(0, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Stats.DoMDelayedMisses != 0 {
+		t.Errorf("%d delayed misses in a branch-free program", c2.Stats.DoMDelayedMisses)
+	}
+}
+
+// TestDoMAPInOrderBranchResolution: under DoM+AP branches resolve in order
+// (§5.3), so a mispredicting young branch behind a slow older branch is
+// discovered late — observable as more wrong-path uops squashed per
+// misprediction than under plain DoM.
+func TestDoMAPInOrderBranchResolution(t *testing.T) {
+	b := program.NewBuilder("inorder")
+	const guard = 0x8000
+	// Guard lines in a shuffled order, pointed to by an index table, so the
+	// guard loads are dependent and unpredictable: no doppelganger can
+	// stand in, isolating the cost of in-order branch resolution.
+	st := uint64(4242)
+	for i := 0; i < 48; i++ {
+		st = st*6364136223846793005 + 1442695040888963407
+		line := st % 4096
+		b.InitMem(0x30000+uint64(i)*8, int64(guard+line*64))
+		b.InitMem(guard+line*64, 1)
+		// 50/50 values for the young branch.
+		b.InitMem(0x20000+uint64(i)*8, int64((i*2654435761)%100))
+	}
+	b.LoadI(1, 0)
+	b.LoadI(2, 48)
+	b.LoadI(3, 0x30000) // guard index table
+	b.LoadI(4, 0x20000)
+	b.LoadI(9, 0)
+	b.LoadI(10, 50)
+	loop := b.Here()
+	b.Load(5, 3, 0) // guard pointer (L1 after warm)
+	b.Load(5, 5, 0) // slow older branch predicate at an unpredictable line
+	s1 := b.NewLabel()
+	b.Blt(5, 9, s1) // never taken, slow to resolve
+	b.Bind(s1)
+	b.Load(6, 4, 0) // fast 50/50 predicate (L1 after warm)
+	s2 := b.NewLabel()
+	b.Blt(6, 10, s2) // mispredicts often
+	b.AddI(9, 9, 0)
+	b.Bind(s2)
+	b.AddI(3, 3, 8)
+	b.AddI(4, 4, 8)
+	b.AddI(1, 1, 1)
+	b.Blt(1, 2, loop)
+	b.Halt()
+	p := b.MustBuild()
+
+	run := func(ap bool) (perMispredict float64) {
+		cfg := DefaultConfig()
+		cfg.Scheme = secure.DoM
+		cfg.AddressPrediction = ap
+		cfg.PrefetchDegree = 0
+		c, err := New(cfg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(0, 50_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if c.Stats.BranchMispredicts == 0 {
+			t.Fatal("pattern produced no mispredicts")
+		}
+		return float64(c.Stats.Squashed) / float64(c.Stats.BranchMispredicts)
+	}
+	dom := run(false)
+	domAP := run(true)
+	// In-order resolution delays mispredict discovery behind the slow
+	// older branch, so the wrong path runs longer and more uops are
+	// squashed per misprediction.
+	if domAP <= dom {
+		t.Errorf("DoM+AP squashed %.1f uops/mispredict, DoM %.1f: in-order resolution not delaying discovery", domAP, dom)
+	}
+}
+
+// TestUnsafeSchemeFastest: by construction every secure scheme can only
+// add delays — no scheme may beat the unsafe baseline on any fuzz program.
+func TestUnsafeSchemeFastest(t *testing.T) {
+	for seed := 1; seed <= 6; seed++ {
+		p := randomProgram(uint64(seed)*77, 14, 80)
+		var unsafeCycles uint64
+		for _, scheme := range secure.Schemes() {
+			cfg := DefaultConfig()
+			cfg.Scheme = scheme
+			c, err := New(cfg, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Run(0, 100_000_000); err != nil {
+				t.Fatal(err)
+			}
+			if scheme == secure.Unsafe {
+				unsafeCycles = c.Stats.Cycles
+				continue
+			}
+			// Allow 2% slack for second-order interactions (replacement
+			// state differs slightly between schemes).
+			if float64(c.Stats.Cycles) < 0.98*float64(unsafeCycles) {
+				t.Errorf("seed %d: %v (%d cycles) beat the unsafe baseline (%d)",
+					seed, scheme, c.Stats.Cycles, unsafeCycles)
+			}
+		}
+	}
+}

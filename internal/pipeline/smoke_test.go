@@ -1,0 +1,88 @@
+package pipeline
+
+import (
+	"testing"
+
+	"doppelganger/internal/isa"
+	"doppelganger/internal/program"
+	"doppelganger/internal/secure"
+)
+
+// sumLoop builds: sum array of n words at base into r3, store result, halt.
+func sumLoop(n int) *program.Program {
+	b := program.NewBuilder("sumloop")
+	const base = 0x1000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i * 3)
+	}
+	b.InitWords(base, vals)
+	b.LoadI(1, base)            // r1 = ptr
+	b.LoadI(2, base+int64(n)*8) // r2 = end
+	b.LoadI(3, 0)               // r3 = sum
+	loop := b.Here()
+	b.Load(4, 1, 0)   // r4 = *ptr
+	b.Add(3, 3, 4)    // sum += r4
+	b.AddI(1, 1, 8)   // ptr += 8
+	b.Blt(1, 2, loop) // while ptr < end
+	b.Store(3, 1, 0)  // mem[end] = sum
+	b.Halt()
+	return b.MustBuild()
+}
+
+func runBoth(t *testing.T, p *program.Program, cfg Config) (*program.ArchState, *Core) {
+	t.Helper()
+	ref := program.Run(p, 10_000_000)
+	if !ref.Halted {
+		t.Fatalf("reference interpreter did not halt")
+	}
+	c, err := New(cfg, p)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := c.Run(0, 50_000_000); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	got := c.ArchState()
+	if got.Insts != ref.Insts {
+		t.Errorf("committed %d instructions, reference executed %d", got.Insts, ref.Insts)
+	}
+	if got.Checksum() != ref.Checksum() {
+		for r := 0; r < isa.NumRegs; r++ {
+			if got.Regs[r] != ref.Regs[r] {
+				t.Errorf("r%d = %d, want %d", r, got.Regs[r], ref.Regs[r])
+			}
+		}
+		for a, v := range ref.Mem {
+			if got.Mem[a] != v {
+				t.Errorf("mem[%#x] = %d, want %d", a, got.Mem[a], v)
+			}
+		}
+		t.Fatalf("architectural state mismatch")
+	}
+	return ref, c
+}
+
+func TestSmokeAllSchemes(t *testing.T) {
+	p := sumLoop(64)
+	for _, scheme := range secure.Schemes() {
+		for _, ap := range []bool{false, true} {
+			cfg := DefaultConfig()
+			cfg.Scheme = scheme
+			cfg.AddressPrediction = ap
+			name := scheme.String()
+			if ap {
+				name += "+ap"
+			}
+			t.Run(name, func(t *testing.T) {
+				_, c := runBoth(t, p, cfg)
+				if c.Stats.CommittedLoads != 64 {
+					t.Errorf("committed loads = %d, want 64", c.Stats.CommittedLoads)
+				}
+				t.Logf("%s: cycles=%d IPC=%.3f cov=%.2f acc=%.2f dopp=%d",
+					name, c.Stats.Cycles, c.Stats.IPC(), c.Stats.Coverage(),
+					c.Stats.Accuracy(), c.Stats.DoppIssued)
+			})
+		}
+	}
+}

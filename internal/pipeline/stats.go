@@ -1,0 +1,120 @@
+package pipeline
+
+import "doppelganger/internal/mem"
+
+// Stats accumulates raw event counts over a run. All counters are
+// monotonic; derived metrics (IPC, coverage, accuracy) are computed by the
+// accessor methods.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+
+	CommittedLoads    uint64
+	CommittedStores   uint64
+	CommittedBranches uint64
+	// CommittedLoadLevel histograms where committed loads were satisfied.
+	CommittedLoadLevel [4]uint64
+
+	BranchMispredicts    uint64
+	Squashed             uint64 // uops removed by any squash
+	MemOrderViolations   uint64
+	InvalidationSquashes uint64
+
+	STLFForwards     uint64
+	DoMDelayedMisses uint64
+	// MemDepStalls counts cycles a load waited for a same-store-set
+	// unresolved store instead of speculating past it.
+	MemDepStalls uint64
+	// STTTaintStalls counts cycles in which a load with a resolved but
+	// still-tainted address was prevented from issuing.
+	STTTaintStalls   uint64
+	PrefetchesIssued uint64
+	// MaxInflightPerPC tracks the deepest per-PC in-flight load count seen
+	// at dispatch (diagnostic for occurrence-based prediction).
+	MaxInflightPerPC uint64
+
+	// Value prediction events (DoM+VP).
+	VPPredictions  uint64
+	VPCorrect      uint64
+	VPMispredicted uint64
+
+	// Doppelganger events.
+	DoppPredictions  uint64 // predictions produced at dispatch
+	DoppIssued       uint64 // doppelganger memory accesses sent
+	DoppVerified     uint64 // predictions that matched the resolved address
+	DoppMispredicted uint64 // predictions refuted by the resolved address
+
+	// Commit-level address prediction quality (the paper's Figure 7
+	// definitions: coverage is correctly predicted loads over all loads,
+	// accuracy is correct predictions over predictions made).
+	CommittedPredictedLoads   uint64
+	CommittedCorrectPredicted uint64
+}
+
+// IPC returns committed instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Committed) / float64(s.Cycles)
+}
+
+// Coverage returns the fraction of committed loads whose address was
+// correctly predicted.
+func (s *Stats) Coverage() float64 {
+	if s.CommittedLoads == 0 {
+		return 0
+	}
+	return float64(s.CommittedCorrectPredicted) / float64(s.CommittedLoads)
+}
+
+// Accuracy returns the fraction of predictions that were correct, measured
+// over committed loads that carried a prediction.
+func (s *Stats) Accuracy() float64 {
+	if s.CommittedPredictedLoads == 0 {
+		return 0
+	}
+	return float64(s.CommittedCorrectPredicted) / float64(s.CommittedPredictedLoads)
+}
+
+// BranchMispredictRate returns mispredict squashes per committed branch.
+func (s *Stats) BranchMispredictRate() float64 {
+	if s.CommittedBranches == 0 {
+		return 0
+	}
+	return float64(s.BranchMispredicts) / float64(s.CommittedBranches)
+}
+
+// MemoryStats snapshots the per-level access counts from a hierarchy.
+type MemoryStats struct {
+	L1Accesses, L1Misses uint64
+	L2Accesses, L2Misses uint64
+	L3Accesses, L3Misses uint64
+	DRAMAccesses         uint64
+	DRAMWrites           uint64
+	// WritebacksL1/L2/L3 count dirty-line evictions per level.
+	WritebacksL1, WritebacksL2, WritebacksL3 uint64
+	// Per-class L1 accesses for traffic attribution.
+	L1Demand, L1Doppelganger, L1Prefetch, L1Writeback uint64
+}
+
+// SnapshotMemory collects memory statistics from the hierarchy.
+func SnapshotMemory(h *mem.Hierarchy) MemoryStats {
+	return MemoryStats{
+		L1Accesses:     h.L1D.TotalAccesses(),
+		L1Misses:       h.L1D.TotalMisses(),
+		L2Accesses:     h.L2.TotalAccesses(),
+		L2Misses:       h.L2.TotalMisses(),
+		L3Accesses:     h.L3.TotalAccesses(),
+		L3Misses:       h.L3.TotalMisses(),
+		DRAMAccesses:   h.DRAMAccesses,
+		DRAMWrites:     h.DRAMWrites,
+		WritebacksL1:   h.Writebacks[0],
+		WritebacksL2:   h.Writebacks[1],
+		WritebacksL3:   h.Writebacks[2],
+		L1Demand:       h.L1D.Accesses[mem.ClassDemand],
+		L1Doppelganger: h.L1D.Accesses[mem.ClassDoppelganger],
+		L1Prefetch:     h.L1D.Accesses[mem.ClassPrefetch],
+		L1Writeback:    h.L1D.Accesses[mem.ClassWriteback],
+	}
+}

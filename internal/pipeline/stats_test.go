@@ -1,0 +1,55 @@
+package pipeline
+
+import "testing"
+
+func TestStatsDerivedMetrics(t *testing.T) {
+	s := Stats{
+		Cycles:                    200,
+		Committed:                 500,
+		CommittedLoads:            100,
+		CommittedBranches:         50,
+		BranchMispredicts:         5,
+		CommittedPredictedLoads:   40,
+		CommittedCorrectPredicted: 30,
+	}
+	if got := s.IPC(); got != 2.5 {
+		t.Errorf("IPC = %v, want 2.5", got)
+	}
+	if got := s.Coverage(); got != 0.3 {
+		t.Errorf("Coverage = %v, want 0.3", got)
+	}
+	if got := s.Accuracy(); got != 0.75 {
+		t.Errorf("Accuracy = %v, want 0.75", got)
+	}
+	if got := s.BranchMispredictRate(); got != 0.1 {
+		t.Errorf("BranchMispredictRate = %v, want 0.1", got)
+	}
+}
+
+func TestStatsZeroDivision(t *testing.T) {
+	var s Stats
+	if s.IPC() != 0 || s.Coverage() != 0 || s.Accuracy() != 0 || s.BranchMispredictRate() != 0 {
+		t.Error("zero stats must yield zero metrics, not NaN")
+	}
+}
+
+func TestSnapshotMemoryClasses(t *testing.T) {
+	p := strideTrainer(100, 0)
+	cfg := DefaultConfig()
+	cfg.AddressPrediction = true
+	c, err := New(cfg, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0, 10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	ms := SnapshotMemory(c.Hierarchy())
+	if ms.L1Accesses == 0 {
+		t.Error("no L1 accesses recorded")
+	}
+	sum := ms.L1Demand + ms.L1Doppelganger + ms.L1Prefetch + ms.L1Writeback
+	if sum != ms.L1Accesses {
+		t.Errorf("class breakdown %d does not sum to total %d", sum, ms.L1Accesses)
+	}
+}

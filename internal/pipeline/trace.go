@@ -1,0 +1,20 @@
+package pipeline
+
+import "fmt"
+
+// SetTraceWindow enables event tracing (load issues, doppelganger issues,
+// propagations, mispredict squashes) for cycles in [from, to]. Events are
+// written to standard output; pass 0, 0 to disable. Intended for debugging
+// and the CLI's -trace flag.
+func (c *Core) SetTraceWindow(from, to uint64) {
+	c.traceFrom, c.traceTo = from, to
+}
+
+// trace emits one event line when tracing is enabled for the current cycle.
+func (c *Core) trace(format string, args ...any) {
+	if c.traceFrom == 0 || c.cycle < c.traceFrom || c.cycle > c.traceTo {
+		return
+	}
+	fmt.Printf("[%6d] ", c.cycle)
+	fmt.Printf(format+"\n", args...)
+}

@@ -1,0 +1,203 @@
+package pipeline
+
+import (
+	"doppelganger/internal/isa"
+	"doppelganger/internal/mem"
+)
+
+// noReg marks an absent physical register operand.
+const noReg = -1
+
+// uop is one in-flight dynamic instruction (a reorder-buffer entry).
+type uop struct {
+	seq  uint64
+	pc   uint64
+	in   isa.Instruction
+	kind isa.Kind
+
+	// Renaming.
+	dst    int // physical destination, noReg if none
+	oldDst int // previous mapping of the architectural destination
+	src    [2]int
+	nsrc   int
+
+	// Execution status.
+	issued     bool   // left the IQ (execution started / AGU issued)
+	executed   bool   // result computed or memory value final
+	doneAt     uint64 // cycle the in-flight execution completes
+	inFlight   bool   // on the execution completion list
+	propagated bool   // destination marked ready for dependents
+	result     int64
+
+	// hist is the speculative global branch history at fetch (gshare).
+	hist uint64
+
+	// Branch state.
+	predTaken    bool
+	predTarget   uint64
+	actTaken     bool
+	actTarget    uint64
+	outcomeAt    uint64 // cycle the outcome becomes known
+	outcomeReady bool
+	resolved     bool   // shadow lifted, squash (if any) applied
+	brTaintRoot  uint64 // taint root of the predicate (STT)
+
+	// Shadow bookkeeping.
+	castsShadow    bool
+	shadowResolved bool
+
+	// Memory bookkeeping: index into the core's lq/sq ring, or -1.
+	lqIdx int
+	sqIdx int
+}
+
+func (u *uop) isLoad() bool  { return u.kind == isa.KindLoad }
+func (u *uop) isStore() bool { return u.kind == isa.KindStore }
+
+// lqEntry is a load-queue slot. It carries both the real load's state and,
+// when address prediction is enabled, the doppelganger's state (the paper's
+// point: a load and its doppelganger share one LQ entry and one physical
+// destination register).
+type lqEntry struct {
+	u     *uop
+	valid bool
+
+	// Real address state.
+	addr          uint64 // effective address (word aligned)
+	addrValid     bool
+	addrValidAt   uint64 // cycle the AGU result arrives
+	addrPending   bool   // AGU issued, result not yet arrived
+	addrTaintRoot uint64 // taint root of the address operands (STT)
+
+	// Real access state.
+	issued      bool // memory access (or forwarding) performed
+	valueAt     uint64
+	valueValid  bool
+	value       int64
+	level       mem.Level
+	delayedMiss bool   // DoM: speculative L1 miss; retry when non-speculative
+	fwdStore    uint64 // sequence of the store that forwarded the value (0 = memory)
+
+	// Doppelganger state.
+	hadPrediction  bool // a prediction was produced for this load
+	predicted      bool // prediction still live (not yet verified/refuted)
+	predAddr       uint64
+	doppIssued     bool
+	doppDoneAt     uint64
+	doppLevel      mem.Level
+	doppHitL1      bool
+	preloaded      bool // preload value present in preValue
+	preValue       int64
+	storeForwarded bool // preValue supplied/overridden by an older store
+	verified       bool // predicted address matched the real address
+	mispredicted   bool
+
+	// occ is the in-flight occurrence number of this load's PC at
+	// dispatch (the predictor's extrapolation distance); commitBase is
+	// the PC's committed-instance count at dispatch, so a later
+	// prediction can subtract instances that have committed since.
+	occ        int
+	commitBase uint64
+
+	// doppUsed marks that the final value came from the doppelganger
+	// preload (needed for DoM's hit-vs-miss propagation rule).
+	doppUsed bool
+
+	// Value prediction (DoM+VP): a predicted value was propagated
+	// speculatively and must be validated against the real access.
+	vpUsed  bool
+	vpValue int64
+
+	// pendingStoreSeq names an older store whose data this entry awaits
+	// (store-to-load forwarding with not-yet-ready data). 0 = none.
+	pendingStoreSeq uint64
+
+	// DoM delayed replacement update owed at commit.
+	needsL1Touch bool
+	// Invalidation snoop hit (memory consistency, §4.5): the snooped line.
+	invalidated bool
+	invalLine   uint64
+}
+
+// matchAddr returns the address this entry would be snooped on: the real
+// address once known, else the predicted address for a live doppelganger.
+func (e *lqEntry) matchAddr() (uint64, bool) {
+	if e.addrValid {
+		return e.addr, true
+	}
+	if e.predicted {
+		return e.predAddr, true
+	}
+	return 0, false
+}
+
+// sqEntry is a store-queue slot.
+type sqEntry struct {
+	u     *uop
+	valid bool
+
+	addr          uint64
+	addrValid     bool
+	addrValidAt   uint64
+	addrPending   bool
+	addrTaintRoot uint64
+
+	data      int64
+	dataValid bool
+
+	// violationChecked marks that the resolve-time load-queue snoop ran.
+	violationChecked bool
+}
+
+// ring is a bounded FIFO of uops backed by a fixed slice (the ROB, LQ and
+// SQ are all rings). Entries are addressed by absolute index so other
+// structures can hold stable references.
+type ring struct {
+	head, count int
+	size        int
+}
+
+func newRing(size int) ring { return ring{size: size} }
+
+func (r *ring) full() bool  { return r.count == r.size }
+func (r *ring) empty() bool { return r.count == 0 }
+func (r *ring) len() int    { return r.count }
+
+// push allocates the next slot and returns its index.
+func (r *ring) push() int {
+	if r.full() {
+		panic("pipeline: ring overflow")
+	}
+	i := (r.head + r.count) % r.size
+	r.count++
+	return i
+}
+
+// popHead releases the oldest slot and returns its index.
+func (r *ring) popHead() int {
+	if r.empty() {
+		panic("pipeline: ring underflow")
+	}
+	i := r.head
+	r.head = (r.head + 1) % r.size
+	r.count--
+	return i
+}
+
+// popTail releases the youngest slot and returns its index (squash path).
+func (r *ring) popTail() int {
+	if r.empty() {
+		panic("pipeline: ring underflow")
+	}
+	r.count--
+	return (r.head + r.count) % r.size
+}
+
+// headIdx returns the index of the oldest slot.
+func (r *ring) headIdx() int { return r.head }
+
+// tailIdx returns the index of the youngest slot.
+func (r *ring) tailIdx() int { return (r.head + r.count - 1 + r.size) % r.size }
+
+// at returns the absolute index of the i-th oldest element (0 = head).
+func (r *ring) at(i int) int { return (r.head + i) % r.size }

@@ -1,0 +1,161 @@
+package predictor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestValuePredictorConstantsAndCounters(t *testing.T) {
+	v := NewValue(ValueConfig{Entries: 64, Ways: 4, ConfidenceThreshold: 2, MaxConfidence: 7})
+	const pc = 11
+	// Constant values: stride 0.
+	for i := 0; i < 5; i++ {
+		v.Train(pc, 42)
+	}
+	got, ok := v.Predict(pc, 3)
+	if !ok || got != 42 {
+		t.Errorf("constant prediction = %d/%v, want 42", got, ok)
+	}
+	// Counter values: stride 5.
+	const pc2 = 12
+	for i := 0; i < 5; i++ {
+		v.Train(pc2, int64(100+i*5))
+	}
+	got, ok = v.Predict(pc2, 2)
+	if !ok || got != 120+10 {
+		t.Errorf("counter prediction = %d/%v, want 130", got, ok)
+	}
+	// Unstable values never gain confidence.
+	const pc3 = 13
+	vals := []int64{3, 99, -7, 1234, 8}
+	for _, x := range vals {
+		v.Train(pc3, x)
+	}
+	if _, ok := v.Predict(pc3, 1); ok {
+		t.Error("unstable values should not predict")
+	}
+	if _, ok := v.Predict(pc, 0); ok {
+		t.Error("occurrence 0 must not predict")
+	}
+}
+
+func TestValueConfigValidate(t *testing.T) {
+	if err := DefaultValueConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := ValueConfig{Entries: 10, Ways: 4, ConfidenceThreshold: 2, MaxConfidence: 7}
+	if err := bad.Validate(); err == nil {
+		t.Error("bad config validated")
+	}
+}
+
+func TestContextPredictorChains(t *testing.T) {
+	c := NewContext(DefaultContextConfig())
+	const pc = 5
+	// A fixed 4-element pointer cycle: A -> B -> C -> D -> A.
+	cycle := []uint64{0x1000, 0x77c0, 0x2300, 0x9980}
+	for lap := 0; lap < 3; lap++ {
+		for _, a := range cycle {
+			c.Train(pc, a)
+		}
+	}
+	// After training, the next address (occurrence 1) continues the cycle.
+	last := cycle[len(cycle)-1]
+	_ = last
+	got, ok := c.Predict(pc, 1)
+	if !ok || got != cycle[0] {
+		t.Errorf("Predict(1) = %#x/%v, want %#x", got, ok, cycle[0])
+	}
+	// Multi-step walks chain through the table.
+	got, ok = c.Predict(pc, 3)
+	if !ok || got != cycle[2] {
+		t.Errorf("Predict(3) = %#x/%v, want %#x", got, ok, cycle[2])
+	}
+	// Beyond MaxWalk: refused.
+	if _, ok := c.Predict(pc, c.Config().MaxWalk+1); ok {
+		t.Error("walk beyond MaxWalk should refuse")
+	}
+	// Unknown PC: refused.
+	if _, ok := c.Predict(999, 1); ok {
+		t.Error("unknown PC should refuse")
+	}
+}
+
+func TestContextPredictorRelearnsChangedLinks(t *testing.T) {
+	c := NewContext(DefaultContextConfig())
+	const pc = 7
+	for i := 0; i < 4; i++ {
+		c.Train(pc, 0x100)
+		c.Train(pc, 0x200) // 0x100 -> 0x200
+	}
+	if got, ok := c.Predict(pc, 2); !ok || got != 0x200 {
+		// last=0x200; 0x200->0x100 (trained by the loop), then 0x100->0x200.
+		t.Errorf("Predict(2) = %#x/%v, want 0x200", got, ok)
+	}
+	// Redirect 0x100 -> 0x300 repeatedly; the old link must decay.
+	for i := 0; i < 8; i++ {
+		c.Train(pc, 0x100)
+		c.Train(pc, 0x300)
+	}
+	if got, ok := c.Predict(pc, 2); !ok || got != 0x300 {
+		t.Errorf("after relearn, Predict(2) = %#x/%v, want 0x300", got, ok)
+	}
+}
+
+// Property: context predictions are read-only (the doppelganger security
+// requirement applies to every predictor variant).
+func TestContextPredictionReadOnly(t *testing.T) {
+	c := NewContext(DefaultContextConfig())
+	for i := 0; i < 64; i++ {
+		c.Train(3, uint64(0x4000+(i%8)*0x100))
+	}
+	snap := c.Snapshot()
+	f := func(pc uint64, occ uint8) bool {
+		c.Predict(pc%16, int(occ%8)+1)
+		return c.Snapshot() == snap
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContextConfigValidate(t *testing.T) {
+	bad := []ContextConfig{
+		{Entries: 0, Ways: 4, ConfidenceThreshold: 1, MaxConfidence: 3, MaxWalk: 8},
+		{Entries: 24, Ways: 4, ConfidenceThreshold: 1, MaxConfidence: 3, MaxWalk: 8},
+		{Entries: 64, Ways: 4, ConfidenceThreshold: 0, MaxConfidence: 3, MaxWalk: 8},
+		{Entries: 64, Ways: 4, ConfidenceThreshold: 1, MaxConfidence: 3, MaxWalk: 0},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v should not validate", c)
+		}
+	}
+}
+
+func TestGShareHistorySensitivity(t *testing.T) {
+	g := NewGShare(GShareConfig{Entries: 256, HistoryBits: 4})
+	const pc = 9
+	// Teach: after history 0b1010 the branch is taken; after 0b0101 not.
+	for i := 0; i < 4; i++ {
+		g.TrainWithHistory(pc, 0b1010, true)
+		g.TrainWithHistory(pc, 0b0101, false)
+	}
+	if !g.PredictWithHistory(pc, 0b1010) {
+		t.Error("pattern 1010 should predict taken")
+	}
+	if g.PredictWithHistory(pc, 0b0101) {
+		t.Error("pattern 0101 should predict not-taken")
+	}
+}
+
+func TestGShareConfigValidate(t *testing.T) {
+	if err := DefaultGShareConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []GShareConfig{{Entries: 12, HistoryBits: 4}, {Entries: 64, HistoryBits: 0}, {Entries: 64, HistoryBits: 40}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("%+v should not validate", bad)
+		}
+	}
+}

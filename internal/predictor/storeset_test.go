@@ -1,0 +1,53 @@
+package predictor
+
+import "testing"
+
+func TestStoreSetsAssignAndLookup(t *testing.T) {
+	s := NewStoreSets(StoreSetsConfig{Entries: 64})
+	if s.SameSet(10, 20) {
+		t.Error("untrained PCs should not alias")
+	}
+	s.Assign(10, 20)
+	if !s.SameSet(10, 20) {
+		t.Error("assigned pair should alias")
+	}
+	if s.SameSet(10, 21) {
+		t.Error("unrelated store should not alias")
+	}
+	// Merging: a second store violating against the same load joins the set.
+	s.Assign(10, 30)
+	if !s.SameSet(10, 30) || !s.SameSet(10, 20) {
+		t.Error("second store should join the load's set without evicting the first")
+	}
+	set10, _ := s.Lookup(10)
+	set30, _ := s.Lookup(30)
+	if set10 != set30 {
+		t.Error("merged PCs should share a set id")
+	}
+	// A load joining an existing store's set.
+	s.Assign(40, 30)
+	if !s.SameSet(40, 30) {
+		t.Error("load should adopt the store's existing set")
+	}
+}
+
+func TestStoreSetsDistinctSets(t *testing.T) {
+	s := NewStoreSets(DefaultStoreSetsConfig())
+	s.Assign(1, 2)
+	s.Assign(3, 4)
+	if s.SameSet(1, 4) || s.SameSet(3, 2) {
+		t.Error("independent violations must form distinct sets")
+	}
+	if s.Assignments != 2 {
+		t.Errorf("Assignments = %d, want 2", s.Assignments)
+	}
+}
+
+func TestStoreSetsConfigValidate(t *testing.T) {
+	if err := (StoreSetsConfig{Entries: 12}).Validate(); err == nil {
+		t.Error("non-power-of-two should not validate")
+	}
+	if err := DefaultStoreSetsConfig().Validate(); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,235 @@
+package predictor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func newTestStride() *Stride {
+	return NewStride(StrideConfig{Entries: 64, Ways: 4, ConfidenceThreshold: 2, MaxConfidence: 7})
+}
+
+func TestStrideConfigValidate(t *testing.T) {
+	bad := []StrideConfig{
+		{Entries: 0, Ways: 4, ConfidenceThreshold: 2, MaxConfidence: 7},
+		{Entries: 10, Ways: 4, ConfidenceThreshold: 2, MaxConfidence: 7}, // not multiple
+		{Entries: 24, Ways: 4, ConfidenceThreshold: 2, MaxConfidence: 7}, // 6 sets
+		{Entries: 64, Ways: 4, ConfidenceThreshold: 0, MaxConfidence: 7},
+		{Entries: 64, Ways: 4, ConfidenceThreshold: 8, MaxConfidence: 7},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%+v should not validate", c)
+		}
+	}
+	if err := DefaultStrideConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+}
+
+func TestStrideTrainAndPredict(t *testing.T) {
+	s := newTestStride()
+	const pc = 0x42
+	// No prediction before training.
+	if _, ok := s.Predict(pc, 1); ok {
+		t.Error("untrained PC must not predict")
+	}
+	// Train a stride-8 stream.
+	for i := 0; i < 5; i++ {
+		s.Train(pc, 0x1000+uint64(i)*8)
+	}
+	addr, ok := s.Predict(pc, 1)
+	if !ok || addr != 0x1020+8 {
+		t.Errorf("Predict occ=1 = %#x/%v, want 0x1028", addr, ok)
+	}
+	addr, ok = s.Predict(pc, 3)
+	if !ok || addr != 0x1020+24 {
+		t.Errorf("Predict occ=3 = %#x/%v, want 0x1038", addr, ok)
+	}
+	if _, ok := s.Predict(pc, 0); ok {
+		t.Error("occurrence 0 must not predict")
+	}
+}
+
+func TestStrideConfidenceBuildsAndDecays(t *testing.T) {
+	s := newTestStride()
+	const pc = 7
+	s.Train(pc, 100<<3)
+	s.Train(pc, 101<<3) // establishes stride 8, conf 0
+	s.Train(pc, 102<<3) // conf 1
+	if _, ok := s.Predict(pc, 1); ok {
+		t.Error("conf 1 below threshold must not predict")
+	}
+	s.Train(pc, 103<<3) // conf 2
+	if _, ok := s.Predict(pc, 1); !ok {
+		t.Error("conf 2 must predict")
+	}
+	// A break decays confidence but keeps the stride.
+	s.Train(pc, 0x999000)
+	if _, stride, conf, _ := s.Lookup(pc); stride != 8 || conf != 1 {
+		t.Errorf("after break: stride=%d conf=%d, want 8/1", stride, conf)
+	}
+	// Confidence saturates at MaxConfidence.
+	last := uint64(0x999000)
+	for i := 0; i < 20; i++ {
+		last += 8
+		s.Train(pc, last)
+	}
+	if _, _, conf, _ := s.Lookup(pc); conf != 7 {
+		t.Errorf("conf = %d, want saturation at 7", conf)
+	}
+}
+
+func TestStrideFullPCTagsNoAliasing(t *testing.T) {
+	s := newTestStride() // 16 sets
+	pcA := uint64(0x10)
+	pcB := pcA + 16 // same set, different full tag
+	for i := 0; i < 4; i++ {
+		s.Train(pcA, uint64(i)*8)
+	}
+	// pcB must not see pcA's entry.
+	if _, ok := s.Predict(pcB, 1); ok {
+		t.Error("different PC in the same set predicted from an aliased entry")
+	}
+	if _, _, _, ok := s.Lookup(pcB); ok {
+		t.Error("Lookup(pcB) found pcA's entry")
+	}
+}
+
+func TestStrideLRUVictim(t *testing.T) {
+	s := NewStride(StrideConfig{Entries: 8, Ways: 2, ConfidenceThreshold: 2, MaxConfidence: 7})
+	// 4 sets; PCs 0, 4, 8 share set 0.
+	s.Train(0, 100)
+	s.Train(4, 200)
+	s.Train(0, 108) // refresh PC 0
+	s.Train(8, 300) // evicts PC 4 (LRU)
+	if _, _, _, ok := s.Lookup(0); !ok {
+		t.Error("PC 0 evicted despite being recent")
+	}
+	if _, _, _, ok := s.Lookup(4); ok {
+		t.Error("PC 4 should have been the LRU victim")
+	}
+	if _, _, _, ok := s.Lookup(8); !ok {
+		t.Error("PC 8 not allocated")
+	}
+}
+
+func TestStridePrefetchTargets(t *testing.T) {
+	s := newTestStride()
+	const pc = 9
+	for i := 0; i < 5; i++ {
+		s.Train(pc, uint64(0x4000+i*64))
+	}
+	buf := s.PrefetchTargets(pc, 0x4100, 2, 3, nil)
+	want := []uint64{0x4100 + 2*64, 0x4100 + 3*64, 0x4100 + 4*64}
+	if len(buf) != 3 {
+		t.Fatalf("got %d targets, want 3", len(buf))
+	}
+	for i := range want {
+		if buf[i] != want[i] {
+			t.Errorf("target[%d] = %#x, want %#x", i, buf[i], want[i])
+		}
+	}
+	// Zero stride produces nothing.
+	s2 := newTestStride()
+	for i := 0; i < 5; i++ {
+		s2.Train(3, 0x7000)
+	}
+	if got := s2.PrefetchTargets(3, 0x7000, 1, 4, nil); len(got) != 0 {
+		t.Errorf("zero-stride prefetch produced %d targets", len(got))
+	}
+}
+
+// Property: Predict and PrefetchTargets are read-only — the table snapshot
+// never changes, which is the security anchor for doppelganger loads.
+func TestStridePredictionIsReadOnly(t *testing.T) {
+	s := newTestStride()
+	for pc := uint64(0); pc < 32; pc++ {
+		for i := 0; i < 4; i++ {
+			s.Train(pc, uint64(i)*16)
+		}
+	}
+	snap := s.Snapshot()
+	f := func(pc uint64, occ uint8) bool {
+		s.Predict(pc%64, int(occ%8)+1)
+		s.PrefetchTargets(pc%64, pc*8, 4, 4, nil)
+		return s.Snapshot() == snap
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after training a perfect stride stream, every in-window
+// occurrence predicts exactly lastAddr + stride*occ.
+func TestStridePredictionLinearity(t *testing.T) {
+	f := func(base uint32, strideRaw int16, occ uint8) bool {
+		stride := int64(strideRaw)
+		if stride == 0 {
+			return true
+		}
+		s := newTestStride()
+		last := uint64(int64(base))
+		for i := 0; i < 6; i++ {
+			s.Train(1, last)
+			last = uint64(int64(last) + stride)
+		}
+		last = uint64(int64(last) - stride) // final trained address
+		o := int(occ%16) + 1
+		got, ok := s.Predict(1, o)
+		return ok && got == uint64(int64(last)+stride*int64(o))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStrideSnapshotSensitivity(t *testing.T) {
+	a := newTestStride()
+	b := newTestStride()
+	if a.Snapshot() != b.Snapshot() {
+		t.Fatal("empty tables must have equal snapshots")
+	}
+	a.Train(5, 0x1234)
+	if a.Snapshot() == b.Snapshot() {
+		t.Error("training must change the snapshot")
+	}
+}
+
+func TestBimodalPredictor(t *testing.T) {
+	bp := NewBimodal(BimodalConfig{Entries: 16})
+	const pc = 3
+	// Initialised weakly taken.
+	if !bp.Predict(pc) {
+		t.Error("initial prediction should be taken")
+	}
+	bp.Train(pc, false)
+	if bp.Predict(pc) {
+		t.Error("one not-taken should flip a weak counter")
+	}
+	// Saturation: many takens, then one not-taken keeps predicting taken.
+	for i := 0; i < 5; i++ {
+		bp.Train(pc, true)
+	}
+	bp.Train(pc, false)
+	if !bp.Predict(pc) {
+		t.Error("single not-taken should not flip a saturated counter")
+	}
+}
+
+func TestBimodalBadConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two size should panic")
+		}
+	}()
+	NewBimodal(BimodalConfig{Entries: 12})
+}
+
+func TestStaticPredictors(t *testing.T) {
+	if !(StaticTaken{}).Predict(0) || (StaticNotTaken{}).Predict(0) {
+		t.Error("static predictors wrong")
+	}
+	(StaticTaken{}).Train(0, false)
+	(StaticNotTaken{}).Train(0, true)
+}

@@ -1,0 +1,394 @@
+package program
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"doppelganger/internal/isa"
+)
+
+// Assemble parses a textual assembly listing into a Program. The syntax is
+// line-oriented:
+//
+//	; comment (also "#")
+//	.entry label            ; optional, defaults to first instruction
+//	.reg r4 = 100           ; initial register value
+//	.mem 0x1000 = 42        ; initial memory word
+//	label:
+//	    loadi r1, 7
+//	    add   r3, r1, r2
+//	    addi  r3, r1, 4
+//	    load  r2, [r1+8]
+//	    store r2, [r1-8]
+//	    bne   r1, r2, label
+//	    jmp   label
+//	    halt
+//
+// Numbers may be decimal or 0x-hex, optionally negative.
+func Assemble(name, src string) (*Program, error) {
+	a := &assembler{
+		name:   name,
+		labels: make(map[string]int),
+		mem:    make(map[uint64]int64),
+		entry:  "",
+	}
+	lines := strings.Split(src, "\n")
+	for i, raw := range lines {
+		if err := a.line(raw); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, i+1, err)
+		}
+	}
+	return a.finish()
+}
+
+// MustAssemble is Assemble that panics on error, for tests and examples.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type asmFixup struct {
+	pc    int
+	label string
+	line  string
+}
+
+type assembler struct {
+	name   string
+	code   []isa.Instruction
+	labels map[string]int
+	fixups []asmFixup
+	regs   [isa.NumRegs]int64
+	mem    map[uint64]int64
+	entry  string
+}
+
+func (a *assembler) line(raw string) error {
+	line := raw
+	if i := strings.IndexAny(line, ";#"); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	// Labels, possibly followed by an instruction on the same line.
+	for {
+		i := strings.Index(line, ":")
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(line[:i])
+		if !isIdent(label) {
+			return fmt.Errorf("invalid label %q", label)
+		}
+		if _, dup := a.labels[label]; dup {
+			return fmt.Errorf("duplicate label %q", label)
+		}
+		a.labels[label] = len(a.code)
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(line, ".") {
+		return a.directive(line)
+	}
+	return a.instruction(line)
+}
+
+func (a *assembler) directive(line string) error {
+	fields := strings.Fields(line)
+	switch fields[0] {
+	case ".entry":
+		if len(fields) != 2 {
+			return fmt.Errorf(".entry wants a label: %q", line)
+		}
+		a.entry = fields[1]
+		return nil
+	case ".reg":
+		// .reg rN = value
+		rest := strings.TrimSpace(strings.TrimPrefix(line, ".reg"))
+		lhs, rhs, ok := strings.Cut(rest, "=")
+		if !ok {
+			return fmt.Errorf(".reg wants 'rN = value': %q", line)
+		}
+		r, err := parseReg(strings.TrimSpace(lhs))
+		if err != nil {
+			return err
+		}
+		v, err := parseInt(strings.TrimSpace(rhs))
+		if err != nil {
+			return err
+		}
+		a.regs[r] = v
+		return nil
+	case ".mem":
+		rest := strings.TrimSpace(strings.TrimPrefix(line, ".mem"))
+		lhs, rhs, ok := strings.Cut(rest, "=")
+		if !ok {
+			return fmt.Errorf(".mem wants 'addr = value': %q", line)
+		}
+		addr, err := parseInt(strings.TrimSpace(lhs))
+		if err != nil {
+			return err
+		}
+		v, err := parseInt(strings.TrimSpace(rhs))
+		if err != nil {
+			return err
+		}
+		a.mem[AlignAddr(uint64(addr))] = v
+		return nil
+	default:
+		return fmt.Errorf("unknown directive %q", fields[0])
+	}
+}
+
+var threeRegOps = map[string]isa.Op{
+	"add": isa.Add, "sub": isa.Sub, "mul": isa.Mul, "div": isa.Div,
+	"and": isa.And, "or": isa.Or, "xor": isa.Xor,
+	"shl": isa.Shl, "shr": isa.Shr, "slt": isa.Slt,
+}
+
+var regImmOps = map[string]isa.Op{
+	"addi": isa.AddI, "muli": isa.MulI, "andi": isa.AndI,
+	"shli": isa.ShlI, "shri": isa.ShrI,
+}
+
+var branchOps = map[string]isa.Op{
+	"beq": isa.Beq, "bne": isa.Bne, "blt": isa.Blt, "bge": isa.Bge,
+}
+
+func (a *assembler) instruction(line string) error {
+	mnem, rest, _ := strings.Cut(line, " ")
+	mnem = strings.ToLower(strings.TrimSpace(mnem))
+	args := splitArgs(rest)
+	emit := func(in isa.Instruction) { a.code = append(a.code, in) }
+
+	switch {
+	case mnem == "nop":
+		if len(args) != 0 {
+			return fmt.Errorf("nop takes no operands: %q", line)
+		}
+		emit(isa.Instruction{Op: isa.Nop})
+	case mnem == "halt":
+		if len(args) != 0 {
+			return fmt.Errorf("halt takes no operands: %q", line)
+		}
+		emit(isa.Instruction{Op: isa.Halt})
+	case mnem == "loadi":
+		if len(args) != 2 {
+			return fmt.Errorf("loadi wants 2 operands: %q", line)
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		imm, err := parseInt(args[1])
+		if err != nil {
+			return err
+		}
+		emit(isa.Instruction{Op: isa.LoadI, Dst: dst, Imm: imm})
+	case mnem == "load":
+		if len(args) != 2 {
+			return fmt.Errorf("load wants 'dst, [base+off]': %q", line)
+		}
+		dst, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := parseMemOperand(args[1])
+		if err != nil {
+			return err
+		}
+		emit(isa.Instruction{Op: isa.Load, Dst: dst, Src1: base, Imm: off})
+	case mnem == "store":
+		if len(args) != 2 {
+			return fmt.Errorf("store wants 'src, [base+off]': %q", line)
+		}
+		src, err := parseReg(args[0])
+		if err != nil {
+			return err
+		}
+		base, off, err := parseMemOperand(args[1])
+		if err != nil {
+			return err
+		}
+		emit(isa.Instruction{Op: isa.Store, Src1: base, Src2: src, Imm: off})
+	case mnem == "jmp":
+		if len(args) != 1 || !isIdent(args[0]) {
+			return fmt.Errorf("jmp wants a label: %q", line)
+		}
+		a.fixups = append(a.fixups, asmFixup{pc: len(a.code), label: args[0], line: line})
+		emit(isa.Instruction{Op: isa.Jmp})
+	default:
+		if op, ok := threeRegOps[mnem]; ok {
+			if len(args) != 3 {
+				return fmt.Errorf("%s wants 3 registers: %q", mnem, line)
+			}
+			dst, err := parseReg(args[0])
+			if err != nil {
+				return err
+			}
+			s1, err := parseReg(args[1])
+			if err != nil {
+				return err
+			}
+			s2, err := parseReg(args[2])
+			if err != nil {
+				return err
+			}
+			emit(isa.Instruction{Op: op, Dst: dst, Src1: s1, Src2: s2})
+			return nil
+		}
+		if op, ok := regImmOps[mnem]; ok {
+			if len(args) != 3 {
+				return fmt.Errorf("%s wants 'dst, src, imm': %q", mnem, line)
+			}
+			dst, err := parseReg(args[0])
+			if err != nil {
+				return err
+			}
+			s1, err := parseReg(args[1])
+			if err != nil {
+				return err
+			}
+			imm, err := parseInt(args[2])
+			if err != nil {
+				return err
+			}
+			emit(isa.Instruction{Op: op, Dst: dst, Src1: s1, Imm: imm})
+			return nil
+		}
+		if op, ok := branchOps[mnem]; ok {
+			if len(args) != 3 || !isIdent(args[2]) {
+				return fmt.Errorf("%s wants 'r1, r2, label': %q", mnem, line)
+			}
+			s1, err := parseReg(args[0])
+			if err != nil {
+				return err
+			}
+			s2, err := parseReg(args[1])
+			if err != nil {
+				return err
+			}
+			a.fixups = append(a.fixups, asmFixup{pc: len(a.code), label: args[2], line: line})
+			emit(isa.Instruction{Op: op, Src1: s1, Src2: s2})
+			return nil
+		}
+		return fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	return nil
+}
+
+func (a *assembler) finish() (*Program, error) {
+	for _, f := range a.fixups {
+		pc, ok := a.labels[f.label]
+		if !ok {
+			return nil, fmt.Errorf("%s: undefined label %q in %q", a.name, f.label, f.line)
+		}
+		a.code[f.pc].Imm = int64(pc)
+	}
+	var entry uint64
+	if a.entry != "" {
+		pc, ok := a.labels[a.entry]
+		if !ok {
+			return nil, fmt.Errorf("%s: undefined .entry label %q", a.name, a.entry)
+		}
+		entry = uint64(pc)
+	}
+	p := &Program{
+		Code:     a.code,
+		Entry:    entry,
+		InitRegs: a.regs,
+		InitMem:  a.mem,
+		Name:     a.name,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func splitArgs(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (isa.Reg, error) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, fmt.Errorf("invalid register %q", s)
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= isa.NumRegs {
+		return 0, fmt.Errorf("invalid register %q", s)
+	}
+	return isa.Reg(n), nil
+}
+
+func parseInt(s string) (int64, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		// Allow large unsigned hex addresses.
+		u, uerr := strconv.ParseUint(s, 0, 64)
+		if uerr != nil {
+			return 0, fmt.Errorf("invalid integer %q", s)
+		}
+		return int64(u), nil
+	}
+	return v, nil
+}
+
+// parseMemOperand parses "[base+off]", "[base-off]", or "[base]".
+func parseMemOperand(s string) (isa.Reg, int64, error) {
+	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
+		return 0, 0, fmt.Errorf("invalid memory operand %q", s)
+	}
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	sep := strings.IndexAny(inner, "+-")
+	if sep < 0 {
+		r, err := parseReg(inner)
+		return r, 0, err
+	}
+	r, err := parseReg(strings.TrimSpace(inner[:sep]))
+	if err != nil {
+		return 0, 0, err
+	}
+	// Accept whitespace around the sign: "[r1 - 16]".
+	offStr := strings.ReplaceAll(inner[sep:], " ", "")
+	offStr = strings.ReplaceAll(offStr, "\t", "")
+	off, err := parseInt(strings.TrimPrefix(offStr, "+"))
+	if err != nil {
+		return 0, 0, err
+	}
+	return r, off, nil
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

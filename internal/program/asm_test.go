@@ -1,0 +1,189 @@
+package program
+
+import (
+	"strings"
+	"testing"
+
+	"doppelganger/internal/isa"
+)
+
+const sumSource = `
+; sum the numbers 1..5
+.reg r2 = 5
+.mem 0x100 = 77
+        loadi r1, 0     ; counter
+        loadi r3, 0     # acc (hash comments too)
+loop:   addi  r1, r1, 1
+        add   r3, r3, r1
+        blt   r1, r2, loop
+        loadi r4, 0x100
+        load  r5, [r4]
+        store r3, [r4+8]
+        halt
+`
+
+func TestAssembleAndRun(t *testing.T) {
+	p, err := Assemble("sum", sumSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Run(p, 1000)
+	if !st.Halted {
+		t.Fatal("did not halt")
+	}
+	if st.Regs[3] != 15 {
+		t.Errorf("r3 = %d, want 15", st.Regs[3])
+	}
+	if st.Regs[5] != 77 {
+		t.Errorf("r5 = %d, want 77 (from .mem)", st.Regs[5])
+	}
+	if st.ReadMem(0x108) != 15 {
+		t.Errorf("mem[0x108] = %d, want 15", st.ReadMem(0x108))
+	}
+}
+
+func TestAssembleEveryMnemonic(t *testing.T) {
+	src := `
+start:  nop
+        loadi r1, 2
+        loadi r2, 3
+        add  r3, r1, r2
+        sub  r3, r3, r1
+        mul  r3, r3, r2
+        div  r3, r3, r1
+        and  r4, r3, r1
+        or   r4, r4, r2
+        xor  r4, r4, r1
+        shl  r5, r1, r2
+        shr  r5, r5, r1
+        slt  r6, r1, r2
+        addi r7, r1, 1
+        muli r7, r7, 2
+        andi r7, r7, 0xff
+        shli r7, r7, 1
+        shri r7, r7, 1
+        load r8, [r1+0x10]
+        load r9, [r1]
+        store r8, [r1-8]
+        beq  r1, r1, next
+next:   bne  r1, r2, n2
+n2:     blt  r1, r2, n3
+n3:     bge  r2, r1, n4
+n4:     jmp  end
+        nop
+end:    halt
+`
+	p, err := Assemble("all", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := Run(p, 1000); !st.Halted {
+		t.Error("did not halt")
+	}
+}
+
+func TestAssembleEntryDirective(t *testing.T) {
+	src := `
+dead:   loadi r1, 99
+        halt
+.entry main
+main:   loadi r1, 1
+        halt
+`
+	p, err := Assemble("entry", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Run(p, 10)
+	if st.Regs[1] != 1 {
+		t.Errorf("r1 = %d, want 1 (entry skipped dead code)", st.Regs[1])
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"unknown mnemonic", "frob r1, r2, r3\nhalt", "unknown mnemonic"},
+		{"bad register", "loadi r99, 1\nhalt", "invalid register"},
+		{"bad operand count", "add r1, r2\nhalt", "wants 3 registers"},
+		{"undefined label", "jmp nowhere\nhalt", "undefined label"},
+		{"duplicate label", "a:\na:\nhalt", "duplicate label"},
+		{"bad memory operand", "load r1, r2\nhalt", "invalid memory operand"},
+		{"bad directive", ".frob 1\nhalt", "unknown directive"},
+		{"bad integer", "loadi r1, xyz\nhalt", "invalid integer"},
+		{"bad entry", ".entry nowhere\nhalt", "undefined .entry"},
+		{"reg wants equals", ".reg r1 5\nhalt", ".reg wants"},
+		{"branch wants label", "beq r1, r2, 5\nhalt", "wants 'r1, r2, label'"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.name, c.src)
+		if err == nil {
+			t.Errorf("%s: expected error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestAssembleNegativeOffsets(t *testing.T) {
+	p, err := Assemble("neg", "loadi r1, 0x20\nload r2, [r1-8]\nstore r2, [r1 - 16]\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Code[1].Imm != -8 {
+		t.Errorf("offset = %d, want -8", p.Code[1].Imm)
+	}
+	if p.Code[2].Imm != -16 {
+		t.Errorf("offset = %d, want -16", p.Code[2].Imm)
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on bad source")
+		}
+	}()
+	MustAssemble("bad", "frob\nhalt")
+}
+
+// Assembled text and builder output must agree for equivalent programs.
+func TestAssemblerBuilderEquivalence(t *testing.T) {
+	src := `
+        loadi r1, 10
+        loadi r2, 0
+loop:   add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r3, loop
+        halt
+`
+	asm := MustAssemble("a", src)
+
+	b := NewBuilder("b")
+	b.LoadI(1, 10)
+	b.LoadI(2, 0)
+	loop := b.Here()
+	b.Add(2, 2, 1)
+	b.AddI(1, 1, -1)
+	b.Bne(1, 3, loop)
+	b.Halt()
+	built := b.MustBuild()
+
+	sa := Run(asm, 1000)
+	sb := Run(built, 1000)
+	if sa.Checksum() != sb.Checksum() {
+		t.Error("assembler and builder produced different behaviour")
+	}
+	if len(asm.Code) != len(built.Code) {
+		t.Errorf("code lengths differ: %d vs %d", len(asm.Code), len(built.Code))
+	}
+	for i := range asm.Code {
+		if asm.Code[i] != built.Code[i] {
+			t.Errorf("instruction %d differs: %v vs %v", i, asm.Code[i], built.Code[i])
+		}
+	}
+	_ = isa.NumRegs
+}

@@ -1,0 +1,231 @@
+package program
+
+import (
+	"fmt"
+
+	"doppelganger/internal/isa"
+)
+
+// Label is a position in the instruction stream that branches can target
+// before it is bound, enabling forward references.
+type Label struct {
+	pc    int
+	bound bool
+	name  string
+}
+
+// Builder constructs programs imperatively with label-based control flow.
+// Methods panic on misuse (unbound labels at Build, invalid registers);
+// builders run at test/setup time where a panic is the clearest failure.
+type Builder struct {
+	name    string
+	code    []isa.Instruction
+	labels  []*Label
+	fixups  []fixup // instructions whose Imm awaits a label
+	regs    [isa.NumRegs]int64
+	mem     map[uint64]int64
+	entry   uint64
+	nlabels int
+}
+
+type fixup struct {
+	pc    int
+	label *Label
+}
+
+// NewBuilder returns an empty builder for a program with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{name: name, mem: make(map[uint64]int64)}
+}
+
+// PC returns the index the next emitted instruction will occupy.
+func (b *Builder) PC() int { return len(b.code) }
+
+// NewLabel creates an unbound label.
+func (b *Builder) NewLabel() *Label {
+	b.nlabels++
+	l := &Label{name: fmt.Sprintf("L%d", b.nlabels)}
+	b.labels = append(b.labels, l)
+	return l
+}
+
+// Bind attaches the label to the current position.
+func (b *Builder) Bind(l *Label) {
+	if l.bound {
+		panic(fmt.Sprintf("program: label %s bound twice", l.name))
+	}
+	l.pc = len(b.code)
+	l.bound = true
+}
+
+// Here creates a label bound to the current position.
+func (b *Builder) Here() *Label {
+	l := b.NewLabel()
+	b.Bind(l)
+	return l
+}
+
+// InitReg sets the initial value of an architectural register.
+func (b *Builder) InitReg(r isa.Reg, v int64) *Builder {
+	b.regs[r] = v
+	return b
+}
+
+// InitMem sets an initial memory word at the (aligned) byte address.
+func (b *Builder) InitMem(addr uint64, v int64) *Builder {
+	b.mem[AlignAddr(addr)] = v
+	return b
+}
+
+// InitWords lays out a slice of words starting at base.
+func (b *Builder) InitWords(base uint64, vals []int64) *Builder {
+	for i, v := range vals {
+		b.InitMem(base+uint64(i)*WordSize, v)
+	}
+	return b
+}
+
+func (b *Builder) emit(in isa.Instruction) *Builder {
+	b.code = append(b.code, in)
+	return b
+}
+
+func (b *Builder) emitBranch(op isa.Op, s1, s2 isa.Reg, l *Label) *Builder {
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), label: l})
+	return b.emit(isa.Instruction{Op: op, Src1: s1, Src2: s2})
+}
+
+// Nop emits a no-op.
+func (b *Builder) Nop() *Builder { return b.emit(isa.Instruction{Op: isa.Nop}) }
+
+// LoadI emits dst = imm.
+func (b *Builder) LoadI(dst isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Instruction{Op: isa.LoadI, Dst: dst, Imm: imm})
+}
+
+// Op3 emits a three-register ALU operation dst = s1 <op> s2.
+func (b *Builder) Op3(op isa.Op, dst, s1, s2 isa.Reg) *Builder {
+	return b.emit(isa.Instruction{Op: op, Dst: dst, Src1: s1, Src2: s2})
+}
+
+// Add emits dst = s1 + s2.
+func (b *Builder) Add(dst, s1, s2 isa.Reg) *Builder { return b.Op3(isa.Add, dst, s1, s2) }
+
+// Sub emits dst = s1 - s2.
+func (b *Builder) Sub(dst, s1, s2 isa.Reg) *Builder { return b.Op3(isa.Sub, dst, s1, s2) }
+
+// Mul emits dst = s1 * s2.
+func (b *Builder) Mul(dst, s1, s2 isa.Reg) *Builder { return b.Op3(isa.Mul, dst, s1, s2) }
+
+// Xor emits dst = s1 ^ s2.
+func (b *Builder) Xor(dst, s1, s2 isa.Reg) *Builder { return b.Op3(isa.Xor, dst, s1, s2) }
+
+// And emits dst = s1 & s2.
+func (b *Builder) And(dst, s1, s2 isa.Reg) *Builder { return b.Op3(isa.And, dst, s1, s2) }
+
+// Or emits dst = s1 | s2.
+func (b *Builder) Or(dst, s1, s2 isa.Reg) *Builder { return b.Op3(isa.Or, dst, s1, s2) }
+
+// Slt emits dst = (s1 < s2) ? 1 : 0 (signed).
+func (b *Builder) Slt(dst, s1, s2 isa.Reg) *Builder { return b.Op3(isa.Slt, dst, s1, s2) }
+
+// OpI emits a register-immediate ALU operation dst = s1 <op> imm.
+func (b *Builder) OpI(op isa.Op, dst, s1 isa.Reg, imm int64) *Builder {
+	return b.emit(isa.Instruction{Op: op, Dst: dst, Src1: s1, Imm: imm})
+}
+
+// AddI emits dst = s1 + imm.
+func (b *Builder) AddI(dst, s1 isa.Reg, imm int64) *Builder { return b.OpI(isa.AddI, dst, s1, imm) }
+
+// MulI emits dst = s1 * imm.
+func (b *Builder) MulI(dst, s1 isa.Reg, imm int64) *Builder { return b.OpI(isa.MulI, dst, s1, imm) }
+
+// AndI emits dst = s1 & imm.
+func (b *Builder) AndI(dst, s1 isa.Reg, imm int64) *Builder { return b.OpI(isa.AndI, dst, s1, imm) }
+
+// ShlI emits dst = s1 << imm.
+func (b *Builder) ShlI(dst, s1 isa.Reg, imm int64) *Builder { return b.OpI(isa.ShlI, dst, s1, imm) }
+
+// ShrI emits dst = s1 >> imm (logical).
+func (b *Builder) ShrI(dst, s1 isa.Reg, imm int64) *Builder { return b.OpI(isa.ShrI, dst, s1, imm) }
+
+// Load emits dst = mem[base+off].
+func (b *Builder) Load(dst, base isa.Reg, off int64) *Builder {
+	return b.emit(isa.Instruction{Op: isa.Load, Dst: dst, Src1: base, Imm: off})
+}
+
+// Store emits mem[base+off] = src.
+func (b *Builder) Store(src, base isa.Reg, off int64) *Builder {
+	return b.emit(isa.Instruction{Op: isa.Store, Src1: base, Src2: src, Imm: off})
+}
+
+// Beq emits a branch to l if s1 == s2.
+func (b *Builder) Beq(s1, s2 isa.Reg, l *Label) *Builder { return b.emitBranch(isa.Beq, s1, s2, l) }
+
+// Bne emits a branch to l if s1 != s2.
+func (b *Builder) Bne(s1, s2 isa.Reg, l *Label) *Builder { return b.emitBranch(isa.Bne, s1, s2, l) }
+
+// Blt emits a branch to l if s1 < s2 (signed).
+func (b *Builder) Blt(s1, s2 isa.Reg, l *Label) *Builder { return b.emitBranch(isa.Blt, s1, s2, l) }
+
+// Bge emits a branch to l if s1 >= s2 (signed).
+func (b *Builder) Bge(s1, s2 isa.Reg, l *Label) *Builder { return b.emitBranch(isa.Bge, s1, s2, l) }
+
+// Branch emits a conditional branch with the given comparison to l; op must
+// be one of Beq, Bne, Blt, Bge (it panics otherwise).
+func (b *Builder) Branch(op isa.Op, s1, s2 isa.Reg, l *Label) *Builder {
+	if op.Kind() != isa.KindBranch {
+		panic(fmt.Sprintf("program: Branch called with non-branch op %v", op))
+	}
+	return b.emitBranch(op, s1, s2, l)
+}
+
+// Jmp emits an unconditional jump to l.
+func (b *Builder) Jmp(l *Label) *Builder {
+	b.fixups = append(b.fixups, fixup{pc: len(b.code), label: l})
+	return b.emit(isa.Instruction{Op: isa.Jmp})
+}
+
+// Halt emits the halt instruction.
+func (b *Builder) Halt() *Builder { return b.emit(isa.Instruction{Op: isa.Halt}) }
+
+// Build resolves labels and returns the finished program. It panics if a
+// referenced label was never bound, and returns any validation error.
+func (b *Builder) Build() (*Program, error) {
+	for _, f := range b.fixups {
+		if !f.label.bound {
+			panic(fmt.Sprintf("program %q: branch at pc=%d targets unbound label %s",
+				b.name, f.pc, f.label.name))
+		}
+		b.code[f.pc].Imm = int64(f.label.pc)
+	}
+	p := &Program{
+		Code:     append([]isa.Instruction(nil), b.code...),
+		Entry:    b.entry,
+		InitRegs: b.regs,
+		InitMem:  b.mem,
+		Name:     b.name,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// MustBuild is Build that panics on error, for tests and workload setup.
+func (b *Builder) MustBuild() *Program {
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// Div emits dst = s1 / s2 (signed; division by zero yields 0).
+func (b *Builder) Div(dst, s1, s2 isa.Reg) *Builder { return b.Op3(isa.Div, dst, s1, s2) }
+
+// Shl emits dst = s1 << (s2 & 63).
+func (b *Builder) Shl(dst, s1, s2 isa.Reg) *Builder { return b.Op3(isa.Shl, dst, s1, s2) }
+
+// Shr emits dst = s1 >> (s2 & 63) (logical).
+func (b *Builder) Shr(dst, s1, s2 isa.Reg) *Builder { return b.Op3(isa.Shr, dst, s1, s2) }

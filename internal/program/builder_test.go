@@ -1,0 +1,101 @@
+package program
+
+import (
+	"testing"
+
+	"doppelganger/internal/isa"
+)
+
+func TestBuilderForwardLabels(t *testing.T) {
+	b := NewBuilder("fwd")
+	end := b.NewLabel()
+	b.LoadI(1, 1)
+	b.Jmp(end)
+	b.LoadI(1, 2) // skipped
+	b.Bind(end)
+	b.Halt()
+	p := b.MustBuild()
+	st := Run(p, 100)
+	if st.Regs[1] != 1 {
+		t.Errorf("r1 = %d, want 1 (jump skipped the overwrite)", st.Regs[1])
+	}
+	if p.Code[1].Op != isa.Jmp || p.Code[1].Imm != 3 {
+		t.Errorf("jump not fixed up: %v", p.Code[1])
+	}
+}
+
+func TestBuilderBackwardLabels(t *testing.T) {
+	b := NewBuilder("bwd")
+	b.LoadI(1, 0)
+	b.LoadI(2, 3)
+	loop := b.Here()
+	b.AddI(1, 1, 1)
+	b.Blt(1, 2, loop)
+	b.Halt()
+	st := Run(b.MustBuild(), 100)
+	if st.Regs[1] != 3 {
+		t.Errorf("r1 = %d, want 3", st.Regs[1])
+	}
+}
+
+func TestBuilderUnboundLabelPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Build with unbound label should panic")
+		}
+	}()
+	b := NewBuilder("ub")
+	l := b.NewLabel()
+	b.Jmp(l)
+	b.Halt()
+	b.Build() //nolint:errcheck // panics before returning
+}
+
+func TestBuilderDoubleBindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("double Bind should panic")
+		}
+	}()
+	b := NewBuilder("db")
+	l := b.NewLabel()
+	b.Bind(l)
+	b.Bind(l)
+}
+
+func TestBuilderInitState(t *testing.T) {
+	b := NewBuilder("init")
+	b.InitReg(5, -42)
+	b.InitMem(0x1001, 7) // misaligned: stored at 0x1000
+	b.InitWords(0x2000, []int64{1, 2, 3})
+	b.Halt()
+	p := b.MustBuild()
+	if p.InitRegs[5] != -42 {
+		t.Errorf("InitRegs[5] = %d", p.InitRegs[5])
+	}
+	if p.InitMem[0x1000] != 7 {
+		t.Errorf("InitMem[0x1000] = %d, want 7 (aligned down)", p.InitMem[0x1000])
+	}
+	for i, want := range []int64{1, 2, 3} {
+		if got := p.InitMem[0x2000+uint64(i)*8]; got != want {
+			t.Errorf("InitWords[%d] = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestBuilderAllOps(t *testing.T) {
+	b := NewBuilder("ops")
+	l := b.NewLabel()
+	b.Nop().LoadI(1, 5).Add(2, 1, 1).Sub(3, 2, 1).Mul(4, 2, 2).Div(5, 4, 1)
+	b.Xor(6, 4, 5).And(7, 4, 5).Or(8, 4, 5).Slt(9, 1, 2)
+	b.AddI(10, 1, 1).MulI(11, 1, 2).AndI(12, 4, 3).ShlI(13, 1, 1).ShrI(14, 4, 1)
+	b.Load(15, 1, 0).Store(15, 1, 8)
+	b.Beq(1, 1, l).Bne(1, 2, l).Blt(1, 2, l).Bge(2, 1, l)
+	b.Bind(l)
+	b.Jmp(b.Here())
+	_ = b.PC()
+	b.Halt()
+	if _, err := b.Build(); err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+}

@@ -1,0 +1,55 @@
+package program_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"doppelganger/internal/program"
+)
+
+// TestAssemblyCorpus assembles and functionally runs every .asm file
+// shipped under examples/asm, pinning their architectural results.
+func TestAssemblyCorpus(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "asm")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Skipf("corpus directory unavailable: %v", err)
+	}
+	expected := map[string]struct {
+		addr uint64
+		want int64
+	}{
+		"fib.asm":    {0x1000, 832040}, // fib(30)
+		"memcpy.asm": {0x6000, 66},     // 11+22+33
+		"chase.asm":  {0x2000, 5},      // five hops
+	}
+	seen := 0
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".asm" {
+			continue
+		}
+		seen++
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := program.Assemble(e.Name(), string(src))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+		st := program.Run(p, 10_000_000)
+		if !st.Halted {
+			t.Errorf("%s: did not halt", e.Name())
+			continue
+		}
+		if exp, ok := expected[e.Name()]; ok {
+			if got := st.ReadMem(exp.addr); got != exp.want {
+				t.Errorf("%s: mem[%#x] = %d, want %d", e.Name(), exp.addr, got, exp.want)
+			}
+		}
+	}
+	if seen < 3 {
+		t.Errorf("corpus has %d programs, expected at least 3", seen)
+	}
+}

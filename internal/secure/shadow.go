@@ -1,0 +1,82 @@
+package secure
+
+import "fmt"
+
+// ShadowTracker tracks unresolved shadow-casting instructions by sequence
+// number. A shadow is cast by a control-flow instruction from dispatch until
+// its resolution, and by a store from dispatch until its address is resolved
+// (and, under STT, untainted). An instruction is *speculative* while any
+// older shadow is unresolved.
+//
+// Shadows are registered in dispatch (program) order, so the internal slice
+// stays sorted by construction; resolution may remove from the middle, and a
+// squash truncates the young end.
+//
+// The zero value is an empty tracker ready for use.
+type ShadowTracker struct {
+	seqs []uint64 // sorted ascending; unresolved shadow casters
+}
+
+// Add registers an unresolved shadow cast by the instruction with the given
+// sequence number. Sequence numbers must be registered in increasing order
+// (dispatch order); Add panics otherwise, as that indicates a pipeline bug.
+func (t *ShadowTracker) Add(seq uint64) {
+	if n := len(t.seqs); n > 0 && t.seqs[n-1] >= seq {
+		panic(fmt.Sprintf("secure: shadow %d added out of order (last %d)", seq, t.seqs[n-1]))
+	}
+	t.seqs = append(t.seqs, seq)
+}
+
+// Resolve removes the shadow cast by seq, reporting whether it was present.
+func (t *ShadowTracker) Resolve(seq uint64) bool {
+	i := t.search(seq)
+	if i == len(t.seqs) || t.seqs[i] != seq {
+		return false
+	}
+	t.seqs = append(t.seqs[:i], t.seqs[i+1:]...)
+	return true
+}
+
+// SquashAfter removes all shadows with sequence numbers strictly greater
+// than seq (the squash survivor).
+func (t *ShadowTracker) SquashAfter(seq uint64) {
+	i := t.search(seq + 1)
+	t.seqs = t.seqs[:i]
+}
+
+// Speculative reports whether the instruction with the given sequence number
+// is under any shadow, i.e. whether an older shadow is unresolved. An
+// instruction's own shadow does not make it speculative.
+func (t *ShadowTracker) Speculative(seq uint64) bool {
+	return len(t.seqs) > 0 && t.seqs[0] < seq
+}
+
+// Frontier returns the oldest unresolved shadow sequence and true, or 0 and
+// false if no shadow is outstanding. All instructions with seq <= frontier
+// are non-speculative.
+func (t *ShadowTracker) Frontier() (uint64, bool) {
+	if len(t.seqs) == 0 {
+		return 0, false
+	}
+	return t.seqs[0], true
+}
+
+// Outstanding returns the number of unresolved shadows.
+func (t *ShadowTracker) Outstanding() int { return len(t.seqs) }
+
+// Reset clears all shadows.
+func (t *ShadowTracker) Reset() { t.seqs = t.seqs[:0] }
+
+// search returns the first index i with seqs[i] >= seq.
+func (t *ShadowTracker) search(seq uint64) int {
+	lo, hi := 0, len(t.seqs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if t.seqs[mid] < seq {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

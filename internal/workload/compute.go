@@ -1,0 +1,225 @@
+package workload
+
+import "doppelganger/internal/program"
+
+func init() {
+	register(Workload{
+		Name: "tree_search",
+		Spec: "sjeng / exchange2_s",
+		Description: "branch-heavy game-tree style search with an explicit stack in " +
+			"an L1-resident region and long ALU chains; few loads, so AP has little " +
+			"to offer and low accuracy costs nothing",
+		Build: buildTreeSearch,
+	})
+	register(Workload{
+		Name: "md_particles",
+		Spec: "gromacs",
+		Description: "neighbour-pair distance arithmetic over L2-resident coordinate " +
+			"arrays; compute-bound multiply/divide chains dominate, AP minor",
+		Build: buildMDParticles,
+	})
+	register(Workload{
+		Name: "graph_path",
+		Spec: "astar",
+		Description: "grid pathfinding with data-dependent direction branches; decent " +
+			"coverage from neighbour strides but performance bound by branch " +
+			"resolution, so AP gains stay small",
+		Build: buildGraphPath,
+	})
+}
+
+// buildTreeSearch models a minimax-style search: positions pushed to and
+// popped from a stack in memory, evaluation via multiply/xor chains, lots of
+// semi-predictable branching, small memory footprint.
+func buildTreeSearch(s Scale) *program.Program {
+	steps := pick(s, 3000, 26000)
+	stackWords := 1 << 10 // 8 KiB stack: L1-resident
+	const base = 0x780_0000
+	b := program.NewBuilder("tree_search")
+	const (
+		sp   = 1 // stack pointer (index)
+		pos  = 2 // position hash
+		ev   = 3 // evaluation
+		acc  = 4
+		i    = 5
+		lim  = 6
+		mask = 7
+		addr = 8
+		t    = 9
+		thr  = 10
+		d    = 11
+	)
+	b.InitReg(pos, 0x123456789)
+	b.LoadI(sp, 0)
+	b.LoadI(acc, 0)
+	b.LoadI(i, 0)
+	b.LoadI(lim, int64(steps))
+	b.LoadI(mask, int64(stackWords-1))
+	b.LoadI(thr, 0)
+	loop := b.Here()
+	// Evaluate: ev = ((pos*31) ^ (pos>>9)) % small — a latency chain.
+	b.MulI(ev, pos, 31)
+	b.ShrI(t, pos, 9)
+	b.Xor(ev, ev, t)
+	b.LoadI(d, 1021)
+	b.Div(d, ev, d) // divide keeps the units busy
+	b.Xor(ev, ev, d)
+	// Branch on evaluation sign-ish bit: semi-predictable.
+	b.AndI(t, ev, 0x18)
+	push := b.NewLabel()
+	join := b.NewLabel()
+	b.Bne(t, thr, push)
+	// Pop path: sp--; pos = stack[sp]
+	b.AddI(sp, sp, -1)
+	b.And(sp, sp, mask)
+	b.ShlI(addr, sp, 3)
+	b.AddI(addr, addr, base)
+	b.Load(pos, addr, 0)
+	b.Xor(pos, pos, ev)
+	b.Jmp(join)
+	b.Bind(push) // Push path: stack[sp] = pos; sp++; descend
+	b.ShlI(addr, sp, 3)
+	b.AddI(addr, addr, base)
+	b.Store(pos, addr, 0)
+	b.AddI(sp, sp, 1)
+	b.And(sp, sp, mask)
+	b.MulI(pos, pos, 6364136223846793005)
+	b.AddI(pos, pos, 1442695040888963407)
+	b.Bind(join)
+	b.Add(acc, acc, ev)
+	b.AddI(i, i, 1)
+	b.Blt(i, lim, loop)
+	b.Store(acc, mask, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildMDParticles walks coordinate arrays computing pair distances: three
+// strided loads feed multiply-heavy arithmetic, with an occasional cutoff
+// branch on the computed (not loaded) distance.
+func buildMDParticles(s Scale) *program.Program {
+	pairs := pick(s, 2500, 22000)
+	const (
+		baseX = 0x800_0000 // full: 22000*8B = 172 KiB per array
+		baseY = 0x880_0000
+		baseZ = 0x900_0000
+	)
+	b := program.NewBuilder("md_particles")
+	r := newRNG(909)
+	for k := 0; k < pairs; k++ {
+		b.InitMem(baseX+uint64(k)*8, int64(r.intn(1000)))
+		b.InitMem(baseY+uint64(k)*8, int64(r.intn(1000)))
+		b.InitMem(baseZ+uint64(k)*8, int64(r.intn(1000)))
+	}
+	const (
+		px   = 1
+		py   = 2
+		pz   = 3
+		vx   = 4
+		vy   = 5
+		vz   = 6
+		d2   = 7
+		acc  = 8
+		i    = 9
+		lim  = 10
+		cut  = 11
+		t    = 12
+		zero = 13
+	)
+	b.LoadI(px, baseX)
+	b.LoadI(py, baseY)
+	b.LoadI(pz, baseZ)
+	b.LoadI(acc, 0)
+	b.LoadI(i, 0)
+	b.LoadI(lim, int64(pairs))
+	b.LoadI(cut, 500000)
+	b.LoadI(zero, 0)
+	loop := b.Here()
+	b.Load(vx, px, 0)
+	b.Load(vy, py, 0)
+	b.Load(vz, pz, 0)
+	b.Mul(vx, vx, vx)
+	b.Mul(vy, vy, vy)
+	b.Mul(vz, vz, vz)
+	b.Add(d2, vx, vy)
+	b.Add(d2, d2, vz)
+	far := b.NewLabel()
+	b.AndI(t, i, 1)
+	b.Bne(t, zero, far) // register filter: gate every other pair
+	b.Bge(d2, cut, far) // cutoff on the computed (load-derived) distance
+	b.Div(t, cut, d2)
+	b.Add(acc, acc, t)
+	b.Bind(far)
+	b.AddI(px, px, 8)
+	b.AddI(py, py, 8)
+	b.AddI(pz, pz, 8)
+	b.AddI(i, i, 1)
+	b.Blt(i, lim, loop)
+	b.Store(acc, lim, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildGraphPath walks a grid: each step loads the current cell's cost,
+// branches on it to pick a direction (east or south), and advances. The
+// neighbour loads are short-stride and partially predictable, but progress
+// is bound by the data-dependent direction branch.
+func buildGraphPath(s Scale) *program.Program {
+	const dim = 64 // 64x64 grid of words = 32 KiB: L1-resident once warm
+	steps := pick(s, 2800, 24000)
+	const base = 0x980_0000
+	b := program.NewBuilder("graph_path")
+	r := newRNG(1010)
+	for k := 0; k < dim*dim; k += 2 {
+		b.InitMem(base+uint64(k)*8, int64(r.intn(100)))
+	}
+	const (
+		pos  = 1 // cell index
+		v    = 2
+		ve   = 3
+		vs   = 4
+		acc  = 5
+		i    = 6
+		lim  = 7
+		mask = 8
+		addr = 9
+		half = 10
+	)
+	b.LoadI(pos, 0)
+	b.LoadI(acc, 0)
+	b.LoadI(i, 0)
+	b.LoadI(lim, int64(steps))
+	b.LoadI(mask, int64(dim*dim-1))
+	b.LoadI(half, 90)
+	loop := b.Here()
+	b.ShlI(addr, pos, 3)
+	b.AddI(addr, addr, base)
+	b.Load(v, addr, 0)      // current cell
+	b.Load(ve, addr, 8)     // east neighbour (stride-friendly)
+	b.Load(vs, addr, dim*8) // south neighbour
+	south := b.NewLabel()
+	join := b.NewLabel()
+	b.Blt(v, half, south) // direction depends on loaded cost
+	b.AddI(pos, pos, 1)   // go east
+	b.Add(acc, acc, ve)
+	b.Jmp(join)
+	b.Bind(south)
+	b.AddI(pos, pos, dim) // go south
+	b.Add(acc, acc, vs)
+	b.Bind(join)
+	b.And(pos, pos, mask)
+	// Heuristic-evaluation filler: keeps the in-flight instance count of
+	// the neighbour loads low, so predictions rarely extrapolate across a
+	// direction change (decent accuracy, as astar shows in the paper).
+	b.MulI(v, v, 31)
+	b.ShrI(ve, v, 7)
+	b.Xor(acc, acc, ve)
+	b.MulI(vs, acc, 17)
+	b.ShrI(vs, vs, 9)
+	b.Add(acc, acc, vs)
+	b.AddI(i, i, 1)
+	b.Blt(i, lim, loop)
+	b.Store(acc, mask, 0)
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,222 @@
+package workload
+
+import "doppelganger/internal/program"
+
+func init() {
+	register(Workload{
+		Name: "hash_irregular",
+		Spec: "xalancbmk_s",
+		Description: "strided runs broken by hash jumps: the predictor stays confident " +
+			"while every post-jump prediction (and every prediction extrapolated " +
+			"across a jump) is wrong — decent coverage, low accuracy, and wasted " +
+			"doppelganger traffic that floods the L1 (hurts DoM most)",
+		Build: buildHashIrregular,
+	})
+	register(Workload{
+		Name: "event_queue",
+		Spec: "omnetpp_s",
+		Description: "heap-shaped hot set just above L1 capacity plus an event-list " +
+			"scan with jump-broken runs; mispredicted doppelgangers evict hot lines, " +
+			"raising L2 traffic under AP",
+		Build: buildEventQueue,
+	})
+	register(Workload{
+		Name: "random_walk",
+		Spec: "adversarial microbenchmark",
+		Description: "register-PRNG addresses over an L2/L3-resident region: zero " +
+			"stride coverage; stresses DoM's delayed misses and the harmlessness of " +
+			"the misprediction path",
+		Build: buildRandomWalk,
+	})
+}
+
+// buildHashIrregular walks a dependent pointer chain through a table a few
+// times the L1 capacity. Links mostly point to the next word but jump to a
+// hashed position at run boundaries. Because each address comes from the
+// previous load, the secure schemes delay the chain and doppelgangers stand
+// in for it — but predictions extrapolated across a jump are wrong, so a
+// sizable fraction of the doppelganger traffic floods the L1 with useless
+// lines (the xalancbmk signature: decent coverage, low accuracy).
+func buildHashIrregular(s Scale) *program.Program {
+	tableWords := 1 << 18 // 2 MiB table: chain hops miss the L1
+	hops := pick(s, 3000, 24000)
+	const runLen = 64
+	const base = 0x500_0000
+	b := program.NewBuilder("hash_irregular")
+	r := newRNG(606)
+	// Build the link chain as one cycle visiting every position exactly
+	// once: runs of consecutive positions, broken by a hash jump every
+	// runLen hops. Writing each link exactly once keeps the intended run
+	// structure intact (overwrites would make the chain degenerate).
+	visited := make([]bool, tableWords)
+	pickFree := func() int {
+		for {
+			n := r.intn(tableWords)
+			if !visited[n] {
+				return n
+			}
+		}
+	}
+	pos := 0
+	visited[0] = true
+	for k := 1; k < tableWords; k++ {
+		var next int
+		if k%runLen == 0 {
+			next = pickFree()
+		} else {
+			next = pos + 1
+			for next < tableWords && visited[next] {
+				next++
+			}
+			if next >= tableWords {
+				next = pickFree()
+			}
+		}
+		b.InitMem(base+uint64(pos)*8, int64(base)+int64(next)*8)
+		visited[next] = true
+		pos = next
+	}
+	b.InitMem(base+uint64(pos)*8, int64(base)) // close the cycle
+	const (
+		p   = 1 // chain pointer
+		acc = 2
+		i   = 3
+		lim = 4
+	)
+	b.InitReg(p, base)
+	b.LoadI(acc, 0)
+	b.LoadI(i, 0)
+	b.LoadI(lim, int64(hops))
+	loop := b.Here()
+	b.Load(p, p, 0) // dependent chain: stride 8 with a jump every run
+	b.Add(acc, acc, p)
+	b.AddI(i, i, 1)
+	b.Blt(i, lim, loop)
+	b.Store(acc, lim, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildEventQueue mixes heap-style sift loads over a hot set just above L1
+// capacity with a small, reused strided scan. The sift addresses depend on
+// loaded data with no learnable stride, so under the secure schemes their
+// doppelgangers are issued with garbage extrapolated addresses: useless
+// fills that evict the hot set and the scan, raising L2 traffic under AP —
+// the omnetpp signature.
+func buildEventQueue(s Scale) *program.Program {
+	hotWords := 1 << 13  // 64 KiB hot heap: slightly above the 48 KiB L1
+	scanWords := 1 << 11 // 16 KiB scan buffer, reused every pass
+	events := pick(s, 2500, 20000)
+	const (
+		baseHot  = 0x580_0000
+		baseScan = 0x600_0000
+	)
+	b := program.NewBuilder("event_queue")
+	r := newRNG(707)
+	for k := 0; k < hotWords; k++ {
+		b.InitMem(baseHot+uint64(k)*8, int64(r.intn(1<<20)))
+	}
+	const (
+		h    = 1 // position in heap
+		x    = 2
+		pay  = 3
+		acc  = 4
+		i    = 5
+		lim  = 6
+		mask = 7
+		addr = 8
+		thr  = 9
+		scan = 10
+		smsk = 11
+	)
+	b.LoadI(h, 1)
+	b.LoadI(acc, 0)
+	b.LoadI(i, 0)
+	b.LoadI(lim, int64(events))
+	b.LoadI(mask, int64(hotWords-1))
+	b.LoadI(thr, 1<<19)
+	b.LoadI(scan, 0)
+	b.LoadI(smsk, int64(scanWords-1))
+	loop := b.Here()
+	// Sift step over the hot heap: the next heap address depends on loaded
+	// data, and strides break constantly (no AP coverage, garbage
+	// doppelgangers under the schemes).
+	b.ShlI(addr, h, 3)
+	b.AddI(addr, addr, baseHot)
+	b.Load(x, addr, 0)
+	b.ShlI(h, h, 1)
+	down := b.NewLabel()
+	b.Blt(x, thr, down) // data-dependent direction (~50/50)
+	b.AddI(h, h, 1)
+	b.Bind(down)
+	b.And(h, h, mask)
+	b.Xor(h, h, x)
+	b.And(h, h, mask)
+	// Reused strided scan: L1-resident while nothing evicts it.
+	b.And(scan, i, smsk)
+	b.ShlI(addr, scan, 3)
+	b.AddI(addr, addr, baseScan)
+	b.Load(pay, addr, 0)
+	b.Add(acc, acc, pay)
+	b.AddI(i, i, 1)
+	b.Blt(i, lim, loop)
+	b.Store(acc, mask, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildRandomWalk visits register-PRNG addresses over an L2/L3 region, with
+// a loaded-value gate every fourth step. DoM must delay every speculative
+// miss, and no stride exists for AP to learn: the adversarial corner.
+func buildRandomWalk(s Scale) *program.Program {
+	regionWords := 1 << 16 // 512 KiB: L2-resident
+	steps := pick(s, 2500, 20000)
+	const base = 0x700_0000
+	b := program.NewBuilder("random_walk")
+	r := newRNG(808)
+	for k := 0; k < regionWords; k += 32 {
+		b.InitMem(base+uint64(k)*8, int64(r.intn(100)))
+	}
+	const (
+		x    = 1 // PRNG state
+		p    = 2
+		v    = 3
+		acc  = 4
+		i    = 5
+		lim  = 6
+		mask = 7
+		t    = 8
+		bit  = 9
+		zero = 10
+	)
+	b.InitReg(x, 0x1e3779b97f4a7c15)
+	b.LoadI(acc, 0)
+	b.LoadI(i, 0)
+	b.LoadI(lim, int64(steps))
+	b.LoadI(mask, int64(regionWords-1))
+	b.LoadI(zero, 0)
+	loop := b.Here()
+	// xorshift64
+	b.ShlI(t, x, 13)
+	b.Xor(x, x, t)
+	b.ShrI(t, x, 7)
+	b.Xor(x, x, t)
+	b.ShlI(t, x, 17)
+	b.Xor(x, x, t)
+	b.And(p, x, mask)
+	b.ShlI(p, p, 3)
+	b.AddI(p, p, base)
+	b.Load(v, p, 0) // random address: misses, unpredictable
+	b.AndI(bit, i, 3)
+	skip := b.NewLabel()
+	b.Bne(bit, zero, skip) // register-resolved filter: fast
+	b.LoadI(bit, 97)
+	b.Blt(v, bit, skip) // every 4th iteration gates on the loaded value
+	b.Add(acc, acc, v)
+	b.Bind(skip)
+	b.AddI(i, i, 1)
+	b.Blt(i, lim, loop)
+	b.Store(acc, mask, 0)
+	b.Halt()
+	return b.MustBuild()
+}

@@ -1,0 +1,232 @@
+package workload
+
+import "doppelganger/internal/program"
+
+func init() {
+	register(Workload{
+		Name: "pointer_chase",
+		Spec: "mcf",
+		Description: "linked-list walk in randomised order over an L3-resident arena " +
+			"with 50/50 data-dependent branches; addresses are unpredictable, so " +
+			"coverage stays near zero and AP cannot help",
+		Build: buildPointerChase,
+	})
+	register(Workload{
+		Name: "sparse_spmv",
+		Spec: "sparse SPECfp (soplex-like)",
+		Description: "CSR SpMV: strided index/value streams feed a random gather " +
+			"x[col[j]] — the streams are covered by AP, the dependent gather is not, " +
+			"recovering part of the lost MLP",
+		Build: buildSpMV,
+	})
+	register(Workload{
+		Name: "compile_ir",
+		Spec: "gcc",
+		Description: "IR-node walk (strided records) with operand lookups into a " +
+			"symbol table via loaded indices and multiway branching; moderate " +
+			"coverage and a solid AP speedup",
+		Build: buildCompileIR,
+	})
+}
+
+// buildPointerChase lays nodes out at random 64-byte slots in a large arena
+// and walks next pointers. Every hop is a dependent load whose address is
+// the previous load's value.
+func buildPointerChase(s Scale) *program.Program {
+	nodes := pick(s, 4000, 60000) // full: 60000*64B = 3.75 MiB arena
+	hops := pick(s, 3500, 24000)
+	const arena = 0x400_0000
+	b := program.NewBuilder("pointer_chase")
+	r := newRNG(303)
+	order := r.perm(nodes)
+	// node k occupies arena + order[k]*64: {next, payload}
+	addrOf := func(k int) uint64 { return arena + uint64(order[k])*64 }
+	for k := 0; k < nodes; k++ {
+		next := addrOf((k + 1) % nodes)
+		b.InitMem(addrOf(k), int64(next))
+		b.InitMem(addrOf(k)+8, int64(r.intn(100)))
+	}
+	const sideWords = 1 << 16 // 512 KiB side table for payload-indexed gathers
+	const baseSide = 0x480_0000
+	const (
+		p    = 1 // current node
+		pay  = 2
+		acc  = 3
+		half = 4
+		i    = 5
+		lim  = 6
+		t    = 7
+		y    = 8
+	)
+	b.InitReg(p, int64(addrOf(0)))
+	b.LoadI(half, 50)
+	b.LoadI(acc, 0)
+	b.LoadI(i, 0)
+	b.LoadI(lim, int64(hops))
+	loop := b.Here()
+	b.Load(pay, p, 8) // payload
+	// Side gather indexed by the (random) payload: dependent and
+	// unpredictable. The baseline overlaps it with the chain miss; the
+	// schemes cannot, and no doppelganger can stand in for it.
+	b.MulI(t, pay, 1031)
+	b.AndI(t, t, sideWords-1)
+	b.ShlI(t, t, 3)
+	b.AddI(t, t, baseSide)
+	b.Load(y, t, 0)
+	skip := b.NewLabel()
+	b.Blt(pay, half, skip) // ~50/50: mispredicts and long shadows
+	b.Add(acc, acc, y)
+	b.Bind(skip)
+	b.Load(p, p, 0) // next: dependent, address-unpredictable
+	b.AddI(i, i, 1)
+	b.Blt(i, lim, loop)
+	b.Store(acc, half, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildSpMV streams CSR col/val arrays (strided) and gathers x[col[j]]
+// (dependent, pseudorandom). Row lengths are fixed to keep control flow
+// predictable; the interesting dynamics are in the loads.
+func buildSpMV(s Scale) *program.Program {
+	rows := pick(s, 400, 3200)
+	const nnzPerRow = 16
+	xWords := pick(s, 1<<13, 1<<16) // full: 512 KiB x vector
+	const (
+		baseCol = 0x80_0000  // column indices
+		baseVal = 0x100_0000 // matrix values
+		baseX   = 0x180_0000 // dense vector
+		baseY   = 0x200_0000 // result
+	)
+	b := program.NewBuilder("sparse_spmv")
+	r := newRNG(404)
+	nnz := rows * nnzPerRow
+	for j := 0; j < nnz; j++ {
+		col := r.intn(xWords)
+		b.InitMem(baseCol+uint64(j)*8, int64(col))
+		b.InitMem(baseVal+uint64(j)*8, int64(r.intn(9)+1))
+	}
+	// x entries default to zero except a sample, which is fine: timing
+	// depends on addresses, not values.
+	for k := 0; k < xWords; k += 64 {
+		b.InitMem(baseX+uint64(k)*8, int64(r.intn(5)))
+	}
+	const (
+		pcol = 1
+		pval = 2
+		py   = 3
+		rrow = 4
+		rlim = 5
+		rk   = 6
+		col  = 7
+		val  = 8
+		xv   = 9
+		acc  = 10
+		addr = 11
+		knnz = 12
+	)
+	b.LoadI(pcol, baseCol)
+	b.LoadI(pval, baseVal)
+	b.LoadI(py, baseY)
+	b.LoadI(rrow, 0)
+	b.LoadI(rlim, int64(rows))
+	b.LoadI(knnz, nnzPerRow)
+	rowLoop := b.Here()
+	b.LoadI(acc, 0)
+	b.LoadI(rk, 0)
+	innerLoop := b.Here()
+	b.Load(col, pcol, 0) // strided: AP covers
+	b.Load(val, pval, 0) // strided: AP covers
+	b.ShlI(addr, col, 3)
+	b.AddI(addr, addr, baseX)
+	b.Load(xv, addr, 0) // dependent gather: AP cannot cover
+	b.Mul(xv, xv, val)
+	b.Add(acc, acc, xv)
+	b.AddI(pcol, pcol, 8)
+	b.AddI(pval, pval, 8)
+	b.AddI(rk, rk, 1)
+	b.Blt(rk, knnz, innerLoop)
+	b.Store(acc, py, 0)
+	// Gate each row on the accumulated (gathered) value: its
+	// resolution waits for every gather in the row, casting long shadows
+	// over the following rows.
+	big := b.NewLabel()
+	b.LoadI(rk, 1_000_000)
+	b.Blt(acc, rk, big)
+	b.AddI(py, py, 0)
+	b.Bind(big)
+	b.AddI(py, py, 8)
+	b.AddI(rrow, rrow, 1)
+	b.Blt(rrow, rlim, rowLoop)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildCompileIR walks fixed-size IR records (stride 32B) over an
+// L2-resident pool; each record's op field selects among branch paths and
+// its operand field indexes a symbol table (dependent lookup in a smaller,
+// warmer region).
+func buildCompileIR(s Scale) *program.Program {
+	recs := pick(s, 3000, 28000) // full: 28000*32B = 896 KiB pool
+	symWords := 1 << 16          // 512 KiB symbol table: operand lookups miss the L1
+	const (
+		basePool = 0x280_0000
+		baseSym  = 0x300_0000
+	)
+	b := program.NewBuilder("compile_ir")
+	r := newRNG(505)
+	for i := 0; i < recs; i++ {
+		rec := basePool + uint64(i)*32
+		b.InitMem(rec, int64(r.intn(4)))          // op kind
+		b.InitMem(rec+8, int64(r.intn(symWords))) // operand index
+		b.InitMem(rec+16, int64(r.intn(64)))      // weight
+	}
+	const (
+		p    = 1
+		end  = 2
+		op   = 3
+		idx  = 4
+		w    = 5
+		sym  = 6
+		acc  = 7
+		addr = 8
+		one  = 9
+		two  = 10
+	)
+	b.LoadI(p, basePool)
+	b.LoadI(end, basePool+int64(recs)*32)
+	b.LoadI(acc, 0)
+	b.LoadI(one, 1)
+	b.LoadI(two, 2)
+	loop := b.Here()
+	b.Load(op, p, 0)
+	b.Load(idx, p, 8)
+	b.Load(w, p, 16)
+	// Multiway dispatch on the loaded op kind (chained compares).
+	caseB := b.NewLabel()
+	caseC := b.NewLabel()
+	next := b.NewLabel()
+	b.Beq(op, one, caseB)
+	b.Beq(op, two, caseC)
+	// case 0/3: accumulate weight
+	b.Add(acc, acc, w)
+	b.Jmp(next)
+	b.Bind(caseB) // case 1: symbol lookup (dependent load)
+	b.ShlI(addr, idx, 3)
+	b.AddI(addr, addr, baseSym)
+	b.Load(sym, addr, 0)
+	b.Add(acc, acc, sym)
+	b.Jmp(next)
+	b.Bind(caseC) // case 2: symbol update
+	b.ShlI(addr, idx, 3)
+	b.AddI(addr, addr, baseSym)
+	b.Load(sym, addr, 0)
+	b.Add(sym, sym, w)
+	b.Store(sym, addr, 0)
+	b.Bind(next)
+	b.AddI(p, p, 32)
+	b.Blt(p, end, loop)
+	b.Store(acc, end, 0)
+	b.Halt()
+	return b.MustBuild()
+}

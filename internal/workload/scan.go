@@ -1,0 +1,143 @@
+package workload
+
+import "doppelganger/internal/program"
+
+func init() {
+	register(Workload{
+		Name: "scan_match",
+		Spec: "hmmer",
+		Description: "three lock-step strided streams with multiply-accumulate and a " +
+			"load-gated acceptance branch: the highest stride coverage in the suite",
+		Build: buildScanMatch,
+	})
+	register(Workload{
+		Name: "compress",
+		Spec: "bzip2",
+		Description: "two-phase block transform over an L2-resident buffer: strided " +
+			"loads with phase changes, predictable skewed branches; AP raises L1 " +
+			"traffic without growing L2 traffic",
+		Build: buildCompress,
+	})
+}
+
+// buildScanMatch streams a query table, a score table, and a transition
+// table in lock step (the hmmer inner loop shape). The acceptance branch
+// depends on loaded scores, keeping shadows alive over strided loads AP can
+// fully cover.
+func buildScanMatch(s Scale) *program.Program {
+	n := pick(s, 4096, 32768) // full: 32768*8B = 256 KiB per stream, 3 streams
+	const (
+		baseQ = 0xa00_0000
+		baseS = 0xa80_0000
+		baseT = 0xb00_0000
+	)
+	b := program.NewBuilder("scan_match")
+	r := newRNG(1111)
+	for k := 0; k < n; k++ {
+		b.InitMem(baseQ+uint64(k)*8, int64(k))
+		b.InitMem(baseS+uint64(k)*8, int64(r.intn(100)))
+		b.InitMem(baseT+uint64(k)*8, int64(r.intn(16)))
+	}
+	const (
+		pq   = 1
+		ps   = 2
+		pt   = 3
+		vq   = 4
+		vs   = 5
+		vt   = 6
+		best = 7
+		i    = 8
+		lim  = 9
+		thr  = 10
+		t    = 11
+	)
+	b.LoadI(pq, baseQ)
+	b.LoadI(ps, baseS)
+	b.LoadI(pt, baseT)
+	b.LoadI(best, 0)
+	b.LoadI(i, 0)
+	b.LoadI(lim, int64(n))
+	b.LoadI(thr, 95)
+	loop := b.Here()
+	b.Load(vq, pq, 0) // query index stream: L1 via prefetch
+	// Dependent score lookup: the loaded query value (sequential) indexes
+	// the score table, so the load is data-dependent yet stride-covered.
+	b.ShlI(t, vq, 3)
+	b.AddI(t, t, baseS)
+	b.Load(vs, t, 0)
+	b.Load(vt, pt, 0) // transition stream
+	// Uncovered dependent lookup: the transition value (pseudorandom)
+	// indexes the score table, so this PC never gains stride confidence.
+	b.MulI(t, vt, 2048+511)
+	b.AndI(t, t, int64(n-1))
+	b.ShlI(t, t, 3)
+	b.AddI(t, t, baseS)
+	b.Load(t, t, 0)
+	b.Add(vq, vq, t) // second accumulator halves the serial chain
+	b.Mul(t, vq, vt)
+	b.Add(t, t, vs)
+	b.Add(best, best, t) // MAC chain through loaded values (ILP under STT)
+	keep := b.NewLabel()
+	b.Blt(vs, thr, keep) // acceptance gate on the loaded score (skewed)
+	b.Xor(best, best, vq)
+	b.Bind(keep)
+	b.AddI(pq, pq, 8)
+	b.AddI(pt, pt, 8)
+	b.AddI(i, i, 1)
+	b.Blt(i, lim, loop)
+	b.Store(best, lim, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildCompress performs two passes over a block buffer: a forward
+// byte-count pass at word stride and a reordering pass at double stride.
+// Branches are skewed (~85/15) on loaded values.
+func buildCompress(s Scale) *program.Program {
+	words := pick(s, 2600, 12000) // full: 12000*8B = 94 KiB buffer, mostly L1/L2
+	const (
+		baseBuf = 0xb80_0000
+		baseOut = 0xc00_0000
+	)
+	b := program.NewBuilder("compress")
+	r := newRNG(1212)
+	for k := 0; k < words; k++ {
+		b.InitMem(baseBuf+uint64(k)*8, int64(r.intn(256)))
+	}
+	const (
+		p   = 1
+		q   = 2
+		end = 3
+		v   = 4
+		acc = 5
+		thr = 6
+		t   = 7
+	)
+	// Pass 1: word stride, count high bytes.
+	b.LoadI(p, baseBuf)
+	b.LoadI(end, baseBuf+int64(words)*8)
+	b.LoadI(acc, 0)
+	b.LoadI(thr, 216) // ~85% of byte values fall below
+	p1 := b.Here()
+	b.Load(v, p, 0)
+	low := b.NewLabel()
+	b.Blt(v, thr, low)
+	b.AddI(acc, acc, 1)
+	b.Bind(low)
+	b.AddI(p, p, 8)
+	b.Blt(p, end, p1)
+	// Pass 2: double stride, transform and write out.
+	b.LoadI(p, baseBuf)
+	b.LoadI(q, baseOut)
+	p2 := b.Here()
+	b.Load(v, p, 0)
+	b.MulI(t, v, 167)
+	b.AddI(t, t, 13)
+	b.Store(t, q, 0)
+	b.AddI(p, p, 16)
+	b.AddI(q, q, 8)
+	b.Blt(p, end, p2)
+	b.Store(acc, q, 0)
+	b.Halt()
+	return b.MustBuild()
+}

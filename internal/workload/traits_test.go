@@ -1,0 +1,47 @@
+package workload_test
+
+import (
+	"testing"
+
+	"doppelganger/internal/secure"
+	"doppelganger/internal/workload"
+	"doppelganger/sim"
+)
+
+// TestWorkloadTraits pins the characterisation each kernel was designed
+// for, using the DoM+AP configuration the paper reports coverage/accuracy
+// under (Figure 7).
+func TestWorkloadTraits(t *testing.T) {
+	runDoMAP := func(name string) sim.Result {
+		w, ok := workload.ByName(name)
+		if !ok {
+			t.Fatalf("missing workload %s", name)
+		}
+		res, err := sim.Run(w.Build(workload.ScaleTest), sim.Config{Scheme: secure.DoM, AddressPrediction: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	// Streaming kernels must be covered by the stride predictor.
+	for _, name := range []string{"stream", "scan_match", "compress", "stencil"} {
+		if res := runDoMAP(name); res.Coverage < 0.4 {
+			t.Errorf("%s: coverage %.2f, want >= 0.4", name, res.Coverage)
+		}
+	}
+	// Pointer chasing and random access must not be covered.
+	for _, name := range []string{"pointer_chase", "random_walk"} {
+		if res := runDoMAP(name); res.Coverage > 0.05 {
+			t.Errorf("%s: coverage %.2f, want ~0 (unpredictable addresses)", name, res.Coverage)
+		}
+	}
+	// The xalancbmk stand-in needs predictions with poor accuracy.
+	res := runDoMAP("hash_irregular")
+	if res.Stats.DoppPredictions == 0 {
+		t.Error("hash_irregular: no predictions at all — the flooding signature needs confident wrong predictions")
+	}
+	if res.Accuracy > 0.9 {
+		t.Errorf("hash_irregular: accuracy %.2f, want low (jump-broken runs)", res.Accuracy)
+	}
+}

@@ -1,0 +1,78 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"doppelganger/sim"
+)
+
+// ExampleRun assembles a tiny program and runs it under Delay-on-Miss with
+// doppelganger loads enabled.
+func ExampleRun() {
+	p := sim.MustAssemble("example", `
+        loadi r1, 0x1000
+        loadi r2, 5
+        loadi r3, 0
+loop:   load  r4, [r1]
+        add   r3, r3, r4
+        addi  r1, r1, 8
+        addi  r2, r2, -1
+        bne   r2, r3, skip
+skip:   loadi r5, 0
+        bne   r2, r5, loop
+        halt
+`)
+	for i := 0; i < 5; i++ {
+		p.InitMem[0x1000+uint64(i)*8] = int64(i + 1)
+	}
+	res, err := sim.Run(p, sim.Config{Scheme: sim.DoM, AddressPrediction: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("halted:", res.Insts > 0, "scheme:", res.Scheme.String())
+	// Output: halted: true scheme: dom
+}
+
+// ExampleInterpret shows the functional reference interpreter, the oracle
+// the pipeline is validated against.
+func ExampleInterpret() {
+	p := sim.MustAssemble("sum", `
+        loadi r1, 10
+        loadi r2, 0
+loop:   add   r2, r2, r1
+        addi  r1, r1, -1
+        loadi r3, 0
+        bne   r1, r3, loop
+        halt
+`)
+	st := sim.Interpret(p, 1000)
+	fmt.Println("sum 1..10 =", st.Regs[2])
+	// Output: sum 1..10 = 55
+}
+
+// ExampleNewBuilder constructs a program with the builder API instead of
+// assembly text.
+func ExampleNewBuilder() {
+	b := sim.NewBuilder("mul")
+	b.LoadI(1, 6)
+	b.LoadI(2, 7)
+	b.Mul(3, 1, 2)
+	b.Halt()
+	p, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(sim.Interpret(p, 10).Regs[3])
+	// Output: 42
+}
+
+// ExampleWorkloads lists the first benchmarks of the synthetic suite.
+func ExampleWorkloads() {
+	for _, w := range sim.Workloads()[:3] {
+		fmt.Println(w.Name)
+	}
+	// Output:
+	// compile_ir
+	// compress
+	// event_queue
+}

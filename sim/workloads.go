@@ -1,0 +1,28 @@
+package sim
+
+import (
+	"doppelganger/internal/workload"
+)
+
+// Workload is a synthetic benchmark from the evaluation suite; each stands
+// in for a SPEC benchmark class from the paper (see DESIGN.md §5).
+type Workload = workload.Workload
+
+// WorkloadScale selects how large a benchmark instance to build.
+type WorkloadScale = workload.Scale
+
+// Workload scales: ScaleTest builds small instances for fast iteration,
+// ScaleFull the instances used to regenerate the paper's figures.
+const (
+	ScaleTest = workload.ScaleTest
+	ScaleFull = workload.ScaleFull
+)
+
+// Workloads lists the benchmark suite in name order.
+func Workloads() []Workload { return workload.All() }
+
+// WorkloadByName looks a benchmark up by its registry name.
+func WorkloadByName(name string) (Workload, bool) { return workload.ByName(name) }
+
+// WorkloadNames lists the registry names in sorted order.
+func WorkloadNames() []string { return workload.Names() }
