@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: build test vet race check fmt figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The engine and service are concurrent; the race detector is part of the
+# standard gate, not an extra.
+race:
+	$(GO) test -race ./...
+
+check: vet race
+
+fmt:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+figures:
+	$(GO) run ./cmd/figures -scale test

@@ -1,0 +1,75 @@
+package main
+
+import "doppelganger/sim"
+
+// RunRequest asks for one simulation: a suite workload under one
+// configuration.
+type RunRequest struct {
+	// Workload is a suite workload name (see doppelsim -list).
+	Workload string `json:"workload"`
+	// Scale is "test" or "full" (default "full").
+	Scale string `json:"scale,omitempty"`
+	// Scheme is the secure speculation scheme name (default "unsafe").
+	Scheme string `json:"scheme,omitempty"`
+	// AP enables doppelganger loads.
+	AP bool `json:"ap,omitempty"`
+	// MaxInsts bounds committed instructions (0 = run to halt).
+	MaxInsts uint64 `json:"max_insts,omitempty"`
+	// MaxCycles bounds simulated cycles (0 = default budget).
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+	// TimeoutMS bounds the run's wall-clock time in milliseconds
+	// (0 = the server's default).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RunResponse is one completed simulation.
+type RunResponse struct {
+	// ID retrieves this response later via GET /v1/results/{id}.
+	ID       string     `json:"id"`
+	Workload string     `json:"workload"`
+	Scale    string     `json:"scale"`
+	Scheme   string     `json:"scheme"`
+	AP       bool       `json:"ap"`
+	Result   sim.Result `json:"result"`
+}
+
+// SweepRequest asks for a workload × scheme × ±AP matrix.
+type SweepRequest struct {
+	// Workloads restricts the sweep (empty = the full suite).
+	Workloads []string `json:"workloads,omitempty"`
+	// Schemes restricts the sweep by name (empty = unsafe + the paper's
+	// three schemes).
+	Schemes []string `json:"schemes,omitempty"`
+	// AP is "both" (default), "on", or "off".
+	AP string `json:"ap,omitempty"`
+	// Scale is "test" or "full" (default "full").
+	Scale string `json:"scale,omitempty"`
+	// MaxInsts bounds committed instructions per cell.
+	MaxInsts uint64 `json:"max_insts,omitempty"`
+	// MaxCycles bounds simulated cycles per cell.
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+}
+
+// SweepCell is one cell of a sweep.
+type SweepCell struct {
+	Workload string `json:"workload"`
+	Scheme   string `json:"scheme"`
+	AP       bool   `json:"ap"`
+	// NormIPC is the cell's IPC normalized to the same workload's unsafe
+	// no-AP baseline; present only when the sweep includes that baseline.
+	NormIPC float64    `json:"norm_ipc,omitempty"`
+	Result  sim.Result `json:"result"`
+}
+
+// SweepResponse is a completed sweep in matrix order (workload, scheme,
+// then -AP/+AP).
+type SweepResponse struct {
+	ID    string      `json:"id"`
+	Scale string      `json:"scale"`
+	Cells []SweepCell `json:"cells"`
+}
+
+// errorResponse is the JSON body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}

@@ -1,0 +1,68 @@
+// Command doppeld serves the simulator as an HTTP service: single runs,
+// whole experiment-matrix sweeps, stored results, health and engine
+// statistics. Every simulation funnels through one shared execution engine,
+// so concurrent clients share a bounded worker pool and an LRU result
+// cache — a repeated sweep costs nothing but cache lookups.
+//
+//	doppeld -addr :8080 -workers 8
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/run \
+//	    -d '{"workload":"stream","scheme":"dom","ap":true,"scale":"test"}'
+//	curl -s -X POST localhost:8080/v1/sweep -d '{"scale":"test"}'
+//	curl -s localhost:8080/v1/results/sweep-1
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"doppelganger/internal/engine"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "engine worker-pool size (0 = one per CPU)")
+		cacheSize = flag.Int("cache", engine.DefaultCacheSize, "result-cache capacity in entries (negative disables)")
+		jobLimit  = flag.Duration("job-timeout", 0, "per-job wall-clock budget (0 = none)")
+	)
+	flag.Parse()
+
+	eng := engine.New(engine.Options{
+		Workers:    *workers,
+		CacheSize:  *cacheSize,
+		JobTimeout: *jobLimit,
+	})
+	srv := newServer(eng)
+	hs := &http.Server{Addr: *addr, Handler: srv.handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("doppeld: listening on %s (%d workers)", *addr, eng.Workers())
+
+	select {
+	case err := <-errc:
+		log.Fatalf("doppeld: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Print("doppeld: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("doppeld: shutdown: %v", err)
+	}
+	eng.Close()
+}

@@ -1,0 +1,320 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"doppelganger/internal/engine"
+	"doppelganger/internal/workload"
+	"doppelganger/sim"
+)
+
+// maxStoredResults bounds the in-memory result store (FIFO eviction).
+const maxStoredResults = 256
+
+// server is the doppeld HTTP API over one shared engine. All simulation
+// work funnels through the engine, so concurrent requests share its worker
+// pool, result cache and in-flight deduplication.
+type server struct {
+	eng   *engine.Engine
+	start time.Time
+
+	nextID atomic.Uint64
+	runs   atomic.Uint64
+	sweeps atomic.Uint64
+
+	mu      sync.Mutex
+	results map[string]any
+	order   []string // insertion order, for FIFO eviction
+
+	progMu   sync.Mutex
+	programs map[progKey]*sim.Program
+}
+
+type progKey struct {
+	name  string
+	scale workload.Scale
+}
+
+func newServer(eng *engine.Engine) *server {
+	return &server{
+		eng:      eng,
+		start:    time.Now(),
+		results:  make(map[string]any),
+		programs: make(map[progKey]*sim.Program),
+	}
+}
+
+// handler builds the route table.
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+// program returns the built program for a workload at a scale, memoized:
+// program images are immutable and deterministic, so every request for the
+// same (workload, scale) shares one image.
+func (s *server) program(name string, scale workload.Scale) (*sim.Program, error) {
+	w, ok := workload.ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown workload %q; known: %s",
+			name, strings.Join(workload.Names(), ", "))
+	}
+	k := progKey{name, scale}
+	s.progMu.Lock()
+	defer s.progMu.Unlock()
+	if p, ok := s.programs[k]; ok {
+		return p, nil
+	}
+	p := w.Build(scale)
+	s.programs[k] = p
+	return p, nil
+}
+
+func parseScale(name string) (workload.Scale, string, error) {
+	switch name {
+	case "", "full":
+		return workload.ScaleFull, "full", nil
+	case "test":
+		return workload.ScaleTest, "test", nil
+	default:
+		return 0, "", fmt.Errorf("unknown scale %q (want \"test\" or \"full\")", name)
+	}
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Workload == "" {
+		writeError(w, http.StatusBadRequest, "missing \"workload\"")
+		return
+	}
+	scale, scaleName, err := parseScale(req.Scale)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	schemeName := req.Scheme
+	if schemeName == "" {
+		schemeName = "unsafe"
+	}
+	scheme, err := sim.ParseScheme(schemeName)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	prog, err := s.program(req.Workload, scale)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	res, err := s.eng.Submit(r.Context(), engine.Job{
+		Program: prog,
+		Config: sim.Config{
+			Scheme:            scheme,
+			AddressPrediction: req.AP,
+			MaxInsts:          req.MaxInsts,
+			MaxCycles:         req.MaxCycles,
+		},
+		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+	})
+	if err != nil {
+		writeSimError(w, err)
+		return
+	}
+	s.runs.Add(1)
+	resp := RunResponse{
+		ID:       s.newID("run"),
+		Workload: req.Workload,
+		Scale:    scaleName,
+		Scheme:   scheme.String(),
+		AP:       req.AP,
+		Result:   res,
+	}
+	s.store(resp.ID, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeJSON(r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	scale, scaleName, err := parseScale(req.Scale)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	names := req.Workloads
+	if len(names) == 0 {
+		names = workload.Names()
+	}
+	schemeNames := req.Schemes
+	if len(schemeNames) == 0 {
+		schemeNames = []string{"unsafe", "nda-p", "stt", "dom"}
+	}
+	schemes := make([]sim.Scheme, len(schemeNames))
+	for i, n := range schemeNames {
+		if schemes[i], err = sim.ParseScheme(n); err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+	}
+	var aps []bool
+	switch req.AP {
+	case "", "both":
+		aps = []bool{false, true}
+	case "off":
+		aps = []bool{false}
+	case "on":
+		aps = []bool{true}
+	default:
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown ap %q (want \"both\", \"on\" or \"off\")", req.AP))
+		return
+	}
+
+	var jobs []engine.Job
+	var cells []SweepCell
+	for _, name := range names {
+		prog, err := s.program(name, scale)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		for i, scheme := range schemes {
+			for _, ap := range aps {
+				cells = append(cells, SweepCell{Workload: name, Scheme: schemeNames[i], AP: ap})
+				jobs = append(jobs, engine.Job{
+					Program: prog,
+					Config: sim.Config{
+						Scheme:            scheme,
+						AddressPrediction: ap,
+						MaxInsts:          req.MaxInsts,
+						MaxCycles:         req.MaxCycles,
+					},
+				})
+			}
+		}
+	}
+	results, err := s.eng.RunBatch(r.Context(), jobs, nil)
+	if err != nil {
+		writeSimError(w, err)
+		return
+	}
+	base := make(map[string]uint64) // workload -> unsafe no-AP cycles
+	for i := range cells {
+		cells[i].Result = results[i]
+		if jobs[i].Config.Scheme == sim.Unsafe && !cells[i].AP {
+			base[cells[i].Workload] = results[i].Cycles
+		}
+	}
+	for i := range cells {
+		if b, ok := base[cells[i].Workload]; ok && cells[i].Result.Cycles > 0 {
+			cells[i].NormIPC = float64(b) / float64(cells[i].Result.Cycles)
+		}
+	}
+	s.sweeps.Add(1)
+	resp := SweepResponse{ID: s.newID("sweep"), Scale: scaleName, Cells: cells}
+	s.store(resp.ID, resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleResult(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	resp, ok := s.results[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Sprintf("no stored result %q", id))
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.start).Milliseconds(),
+	})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	stored := len(s.results)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"engine": s.eng.Stats(),
+		"server": map[string]any{
+			"uptime_ms":      time.Since(s.start).Milliseconds(),
+			"runs":           s.runs.Load(),
+			"sweeps":         s.sweeps.Load(),
+			"results_stored": stored,
+		},
+	})
+}
+
+// newID mints a store identifier like "run-7".
+func (s *server) newID(kind string) string {
+	return fmt.Sprintf("%s-%d", kind, s.nextID.Add(1))
+}
+
+// store retains a response for GET /v1/results/{id}, evicting the oldest
+// beyond the cap.
+func (s *server) store(id string, resp any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.results[id] = resp
+	s.order = append(s.order, id)
+	for len(s.order) > maxStoredResults {
+		delete(s.results, s.order[0])
+		s.order = s.order[1:]
+	}
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+// writeSimError maps an engine failure to a status: client cancellations
+// surface as 499-style 400s, everything else is a 500.
+func writeSimError(w http.ResponseWriter, err error) {
+	code := http.StatusInternalServerError
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		code = http.StatusBadRequest
+	}
+	writeError(w, code, err.Error())
+}

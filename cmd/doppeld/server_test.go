@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"doppelganger/internal/engine"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	eng := engine.New(engine.Options{Workers: 4})
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer(newServer(eng).handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func getJSON(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+func TestRunRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/run",
+		`{"workload":"stream","scheme":"dom","ap":true,"scale":"test"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var run RunResponse
+	if err := json.Unmarshal(body, &run); err != nil {
+		t.Fatalf("bad response JSON: %v\n%s", err, body)
+	}
+	if run.ID == "" || run.Workload != "stream" || run.Scheme != "dom" || !run.AP {
+		t.Errorf("unexpected response fields: %+v", run)
+	}
+	if run.Result.Cycles == 0 || run.Result.Insts == 0 {
+		t.Errorf("empty result: %+v", run.Result)
+	}
+
+	// The stored result must round-trip byte-identically.
+	resp2, stored := getJSON(t, ts.URL+"/v1/results/"+run.ID)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("results status %d: %s", resp2.StatusCode, stored)
+	}
+	if !bytes.Equal(body, stored) {
+		t.Error("GET /v1/results body differs from the POST /v1/run body")
+	}
+}
+
+func TestSweepRoundTripAndCacheHits(t *testing.T) {
+	ts := newTestServer(t)
+	req := `{"workloads":["matrix_blocked"],"schemes":["unsafe","dom"],"scale":"test"}`
+	resp, body := postJSON(t, ts.URL+"/v1/sweep", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var sweep SweepResponse
+	if err := json.Unmarshal(body, &sweep); err != nil {
+		t.Fatalf("bad response JSON: %v", err)
+	}
+	if len(sweep.Cells) != 4 { // 1 workload x 2 schemes x 2 AP
+		t.Fatalf("cells = %d, want 4", len(sweep.Cells))
+	}
+	if c := sweep.Cells[0]; c.Workload != "matrix_blocked" || c.Scheme != "unsafe" || c.AP {
+		t.Errorf("first cell out of matrix order: %+v", c)
+	}
+	for _, c := range sweep.Cells {
+		if c.Result.Cycles == 0 {
+			t.Errorf("cell %s/%s/ap=%v is empty", c.Workload, c.Scheme, c.AP)
+		}
+		if c.NormIPC <= 0 {
+			t.Errorf("cell %s/%s/ap=%v missing norm_ipc", c.Workload, c.Scheme, c.AP)
+		}
+	}
+	if base := sweep.Cells[0].NormIPC; base != 1.0 {
+		t.Errorf("baseline norm_ipc = %v, want 1", base)
+	}
+
+	// An identical sweep must be served from the engine's result cache.
+	if resp, body := postJSON(t, ts.URL+"/v1/sweep", req); resp.StatusCode != http.StatusOK {
+		t.Fatalf("repeat sweep status %d: %s", resp.StatusCode, body)
+	}
+	_, statsBody := getJSON(t, ts.URL+"/stats")
+	var stats struct {
+		Engine engine.Stats `json:"engine"`
+		Server struct {
+			Runs   uint64 `json:"runs"`
+			Sweeps uint64 `json:"sweeps"`
+		} `json:"server"`
+	}
+	if err := json.Unmarshal(statsBody, &stats); err != nil {
+		t.Fatalf("bad stats JSON: %v\n%s", err, statsBody)
+	}
+	if stats.Engine.CacheHits == 0 {
+		t.Errorf("repeated sweep reported no cache hits: %+v", stats.Engine)
+	}
+	if stats.Engine.JobsRun != 4 {
+		t.Errorf("jobs run = %d, want 4 (second sweep fully cached)", stats.Engine.JobsRun)
+	}
+	if stats.Server.Sweeps != 2 {
+		t.Errorf("sweeps = %d, want 2", stats.Server.Sweeps)
+	}
+}
+
+func TestUnknownWorkloadIs400(t *testing.T) {
+	ts := newTestServer(t)
+	for _, ep := range []string{"/v1/run", "/v1/sweep"} {
+		body := fmt.Sprintf(`{"workload%s":["nope"],"scale":"test"}`, "s")
+		if ep == "/v1/run" {
+			body = `{"workload":"nope","scale":"test"}`
+		}
+		resp, raw := postJSON(t, ts.URL+ep, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s status = %d, want 400", ep, resp.StatusCode)
+		}
+		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+			t.Errorf("%s content type = %q", ep, ct)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(raw, &e); err != nil || !strings.Contains(e.Error, "nope") {
+			t.Errorf("%s error body = %s", ep, raw)
+		}
+	}
+}
+
+func TestBadRequestsAre400(t *testing.T) {
+	ts := newTestServer(t)
+	cases := []struct{ ep, body string }{
+		{"/v1/run", `{"workload":"stream","scheme":"bogus","scale":"test"}`},
+		{"/v1/run", `{"workload":"stream","scale":"huge"}`},
+		{"/v1/run", `{"typo_field":1}`},
+		{"/v1/run", `{`},
+		{"/v1/sweep", `{"ap":"maybe","scale":"test"}`},
+	}
+	for _, c := range cases {
+		resp, raw := postJSON(t, ts.URL+c.ep, c.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s %s: status = %d, want 400 (%s)", c.ep, c.body, resp.StatusCode, raw)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+			t.Errorf("%s %s: not a JSON error body: %s", c.ep, c.body, raw)
+		}
+	}
+}
+
+func TestResultsUnknownIDIs404(t *testing.T) {
+	ts := newTestServer(t)
+	resp, raw := getJSON(t, ts.URL+"/v1/results/run-999")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("status = %d, want 404", resp.StatusCode)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+		t.Errorf("not a JSON error body: %s", raw)
+	}
+}
+
+func TestHealthzShape(t *testing.T) {
+	ts := newTestServer(t)
+	resp, raw := getJSON(t, ts.URL+"/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var h struct {
+		Status   string `json:"status"`
+		UptimeMS *int64 `json:"uptime_ms"`
+	}
+	if err := json.Unmarshal(raw, &h); err != nil {
+		t.Fatalf("bad healthz JSON: %v", err)
+	}
+	if h.Status != "ok" || h.UptimeMS == nil {
+		t.Errorf("healthz = %s", raw)
+	}
+}
+
+func TestStatsShape(t *testing.T) {
+	ts := newTestServer(t)
+	_, raw := getJSON(t, ts.URL+"/stats")
+	var st struct {
+		Engine *engine.Stats  `json:"engine"`
+		Server map[string]any `json:"server"`
+	}
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("bad stats JSON: %v\n%s", err, raw)
+	}
+	if st.Engine == nil || st.Engine.Workers != 4 {
+		t.Errorf("engine stats missing or wrong workers: %s", raw)
+	}
+	for _, key := range []string{"uptime_ms", "runs", "sweeps", "results_stored"} {
+		if _, ok := st.Server[key]; !ok {
+			t.Errorf("server stats missing %q: %s", key, raw)
+		}
+	}
+}

@@ -4,16 +4,21 @@
 //	doppelsim -workload stream -scheme dom -ap            # suite benchmark
 //	doppelsim -file prog.asm -scheme stt                  # assembly file
 //	doppelsim -workload pointer_chase -all                # all schemes +-AP
+//	doppelsim -workload stream -all -parallel 8           # comparison on 8 workers
+//	doppelsim -workload stream -scheme dom -json          # machine-readable result
 //	doppelsim -list                                       # show workloads
 //	doppelsim -workload stream -trace 1000:1200           # event trace window
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"doppelganger/internal/engine"
 	"doppelganger/sim"
 )
 
@@ -34,6 +39,8 @@ func main() {
 		trace        = flag.String("trace", "", "event trace window, cycles, as from:to")
 		verify       = flag.Bool("verify", false, "cross-check the final state against the reference interpreter")
 		list         = flag.Bool("list", false, "list suite workloads and exit")
+		parallel     = flag.Int("parallel", 0, "with -all, engine worker-pool size (0 = one per CPU)")
+		jsonOut      = flag.Bool("json", false, "emit results as JSON")
 	)
 	flag.Parse()
 
@@ -50,7 +57,7 @@ func main() {
 	}
 
 	if *all {
-		runAll(prog, *maxInsts, *maxCycles, *extensions)
+		runAll(prog, *maxInsts, *maxCycles, *extensions, *parallel, *jsonOut)
 		return
 	}
 
@@ -110,7 +117,25 @@ func main() {
 		}
 		fmt.Println("verification OK: architectural state matches the reference interpreter")
 	}
-	printResult(sim.Summarize(prog, cfg, core))
+	res := sim.Summarize(prog, cfg, core)
+	if *jsonOut {
+		printJSON(struct {
+			Scheme string     `json:"scheme"`
+			AP     bool       `json:"ap"`
+			Result sim.Result `json:"result"`
+		}{cfg.Scheme.String(), cfg.AddressPrediction, res})
+		return
+	}
+	printResult(res)
+}
+
+// printJSON writes any value as indented JSON on stdout.
+func printJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		fail(err)
+	}
 }
 
 func loadProgram(workloadName, file, scaleName string) (*sim.Program, error) {
@@ -143,31 +168,63 @@ func loadProgram(workloadName, file, scaleName string) (*sim.Program, error) {
 	}
 }
 
-func runAll(prog *sim.Program, maxInsts, maxCycles uint64, extensions bool) {
-	fmt.Printf("%-12s %-6s %12s %8s %10s %10s %10s\n",
-		"scheme", "dopp", "cycles", "IPC", "vs base", "coverage", "accuracy")
-	var base uint64
+// runAll compares every scheme with and without address prediction. The
+// cells execute concurrently on an engine worker pool; the comparison table
+// streams in scheme order regardless of completion order (the engine's
+// batch callbacks are ordered), so output is identical at any parallelism.
+func runAll(prog *sim.Program, maxInsts, maxCycles uint64, extensions bool, parallel int, jsonOut bool) {
 	schemes := sim.Schemes()
 	if extensions {
 		schemes = sim.AllSchemes()
 	}
+	var jobs []engine.Job
 	for _, scheme := range schemes {
 		for _, ap := range []bool{false, true} {
-			res, err := sim.Run(prog, sim.Config{
+			jobs = append(jobs, engine.Job{Program: prog, Config: sim.Config{
 				Scheme: scheme, AddressPrediction: ap,
 				MaxInsts: maxInsts, MaxCycles: maxCycles,
-			})
-			if err != nil {
-				fail(err)
-			}
-			if scheme == sim.Unsafe && !ap {
-				base = res.Cycles
-			}
-			fmt.Printf("%-12v %-6v %12d %8.2f %9.1f%% %9.1f%% %9.1f%%\n",
-				scheme, ap, res.Cycles, res.IPC,
-				float64(base)/float64(res.Cycles)*100,
-				res.Coverage*100, res.Accuracy*100)
+			}})
 		}
+	}
+	eng := engine.New(engine.Options{Workers: parallel})
+	defer eng.Close()
+
+	if jsonOut {
+		results, err := eng.RunBatch(context.Background(), jobs, nil)
+		if err != nil {
+			fail(err)
+		}
+		type cell struct {
+			Scheme string     `json:"scheme"`
+			AP     bool       `json:"ap"`
+			Result sim.Result `json:"result"`
+		}
+		cells := make([]cell, len(results))
+		for i, res := range results {
+			cells[i] = cell{jobs[i].Config.Scheme.String(), jobs[i].Config.AddressPrediction, res}
+		}
+		printJSON(cells)
+		return
+	}
+
+	fmt.Printf("%-12s %-6s %12s %8s %10s %10s %10s\n",
+		"scheme", "dopp", "cycles", "IPC", "vs base", "coverage", "accuracy")
+	var base uint64
+	_, err := eng.RunBatch(context.Background(), jobs, func(i int, res sim.Result, err error) {
+		if err != nil {
+			return
+		}
+		cfg := jobs[i].Config
+		if cfg.Scheme == sim.Unsafe && !cfg.AddressPrediction {
+			base = res.Cycles
+		}
+		fmt.Printf("%-12v %-6v %12d %8.2f %9.1f%% %9.1f%% %9.1f%%\n",
+			cfg.Scheme, cfg.AddressPrediction, res.Cycles, res.IPC,
+			float64(base)/float64(res.Cycles)*100,
+			res.Coverage*100, res.Accuracy*100)
+	})
+	if err != nil {
+		fail(err)
 	}
 }
 

@@ -23,6 +23,7 @@ func main() {
 	names := flag.String("workloads", "", "comma-separated workload subset (default all)")
 	verify := flag.Bool("verify", true, "cross-check architectural state against the reference interpreter")
 	quiet := flag.Bool("quiet", false, "suppress per-run progress lines")
+	parallel := flag.Int("parallel", 0, "engine worker-pool size for the sweep (0 = one per CPU)")
 	csvPath := flag.String("csv", "", "also export the full matrix as CSV to this file")
 	check := flag.Bool("check", false, "run the qualitative shape checks and exit non-zero on failure")
 	flag.Parse()
@@ -78,7 +79,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := harness.Options{Scale: sc, Verify: *verify}
+	opts := harness.Options{Scale: sc, Verify: *verify, Parallelism: *parallel}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"doppelganger/sim"
+)
+
+// RunBatch submits every job concurrently (parallelism bounded by the
+// worker pool) and waits for all of them. Results are returned positionally.
+//
+// onDone, when non-nil, is invoked exactly once per job — serialized, and
+// in job-index order (job i's callback fires only after 0..i-1 have) — so
+// callers can stream progress or fill ordered output without their own
+// locking, and a batch's observable output is deterministic regardless of
+// how execution interleaves across workers.
+//
+// The first job failure cancels the rest of the batch. The returned error
+// is the lowest-indexed genuine failure; cancellations induced by it are
+// reported to onDone but never mask it.
+func (e *Engine) RunBatch(ctx context.Context, jobs []Job, onDone func(i int, res sim.Result, err error)) ([]sim.Result, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([]sim.Result, len(jobs))
+	errs := make([]error, len(jobs))
+	settled := make([]bool, len(jobs))
+	next := 0
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := e.Submit(ctx, jobs[i])
+			mu.Lock()
+			defer mu.Unlock()
+			results[i], errs[i], settled[i] = res, err, true
+			if err != nil {
+				cancel()
+			}
+			// Flush the completed prefix in order (a reorder buffer for
+			// callbacks).
+			for next < len(jobs) && settled[next] {
+				if onDone != nil {
+					onDone(next, results[next], errs[next])
+				}
+				next++
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		if !errors.Is(err, context.Canceled) {
+			// Prefer the root cause over knock-on cancellations.
+			firstErr = err
+			break
+		}
+	}
+	return results, firstErr
+}

@@ -1,0 +1,72 @@
+package engine
+
+import (
+	"container/list"
+	"sync"
+
+	"doppelganger/sim"
+)
+
+// lruCache is a bounded, mutex-protected least-recently-used result cache.
+// A capacity of zero or less disables caching entirely (every Get misses,
+// every Put is dropped).
+type lruCache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[Key]*list.Element
+}
+
+type lruEntry struct {
+	key Key
+	res sim.Result
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[Key]*list.Element),
+	}
+}
+
+// Get returns the cached result for key, promoting it to most recently
+// used.
+func (c *lruCache) Get(key Key) (sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return sim.Result{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+// Put inserts or refreshes a result, evicting the least recently used entry
+// when over capacity.
+func (c *lruCache) Put(key Key, res sim.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// Len returns the number of cached results.
+func (c *lruCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

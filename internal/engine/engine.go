@@ -1,0 +1,161 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"doppelganger/sim"
+)
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = errors.New("engine: closed")
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the worker-pool size; values <= 0 use
+	// runtime.GOMAXPROCS(0).
+	Workers int
+	// CacheSize bounds the LRU result cache in entries. Zero uses
+	// DefaultCacheSize; negative disables caching.
+	CacheSize int
+	// JobTimeout bounds each job's wall-clock execution unless the job
+	// carries its own Timeout. Zero means no limit.
+	JobTimeout time.Duration
+}
+
+// DefaultCacheSize is the result-cache capacity when Options.CacheSize is
+// zero. A full paper sweep is 8 cells per workload, so this comfortably
+// holds many sweeps' worth of results.
+const DefaultCacheSize = 4096
+
+// Engine executes simulation jobs on a bounded worker pool with result
+// caching and in-flight deduplication. It is safe for concurrent use.
+type Engine struct {
+	workers    int
+	jobTimeout time.Duration
+	cache      *lruCache
+	queue      chan *task
+	quit       chan struct{}
+	closeOnce  sync.Once
+	wg         sync.WaitGroup
+
+	mu       sync.Mutex
+	inflight map[Key]*task
+
+	start time.Time
+	ctr   counters
+}
+
+// task is one queued execution; done is closed once res/err are set.
+type task struct {
+	job  Job
+	key  Key
+	ctx  context.Context
+	done chan struct{}
+	res  sim.Result
+	err  error
+}
+
+// New starts an engine and its worker pool.
+func New(opts Options) *Engine {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cacheSize := opts.CacheSize
+	if cacheSize == 0 {
+		cacheSize = DefaultCacheSize
+	}
+	e := &Engine{
+		workers:    workers,
+		jobTimeout: opts.JobTimeout,
+		cache:      newLRUCache(cacheSize),
+		queue:      make(chan *task),
+		quit:       make(chan struct{}),
+		inflight:   make(map[Key]*task),
+		start:      time.Now(),
+	}
+	e.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Close stops the worker pool and waits for in-progress jobs to wind down.
+// Submissions waiting on queued-but-unstarted jobs return ErrClosed.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() { close(e.quit) })
+	e.wg.Wait()
+}
+
+// Stats returns a snapshot of engine activity.
+func (e *Engine) Stats() Stats {
+	return e.ctr.snapshot(e.workers, e.cache.Len(), time.Since(e.start))
+}
+
+// Submit runs one job and returns its result. Identical jobs (same Key) hit
+// the result cache, and an identical job already executing is joined rather
+// than duplicated. Submit blocks until the job completes, ctx is cancelled,
+// or the engine closes.
+func (e *Engine) Submit(ctx context.Context, job Job) (sim.Result, error) {
+	if job.Program == nil {
+		return sim.Result{}, errors.New("engine: job has no program")
+	}
+	e.ctr.submitted.Add(1)
+	key := job.Key()
+	if res, ok := e.cache.Get(key); ok {
+		e.ctr.cacheHits.Add(1)
+		return res, nil
+	}
+	e.ctr.cacheMiss.Add(1)
+
+	e.mu.Lock()
+	if t, ok := e.inflight[key]; ok {
+		e.mu.Unlock()
+		e.ctr.coalesced.Add(1)
+		return e.wait(ctx, t)
+	}
+	t := &task{job: job, key: key, ctx: ctx, done: make(chan struct{})}
+	e.inflight[key] = t
+	e.mu.Unlock()
+
+	select {
+	case e.queue <- t:
+	case <-ctx.Done():
+		e.abandon(t)
+		return sim.Result{}, ctx.Err()
+	case <-e.quit:
+		e.abandon(t)
+		return sim.Result{}, ErrClosed
+	}
+	return e.wait(ctx, t)
+}
+
+// wait blocks until the task settles or the caller gives up.
+func (e *Engine) wait(ctx context.Context, t *task) (sim.Result, error) {
+	select {
+	case <-t.done:
+		return t.res, t.err
+	case <-ctx.Done():
+		return sim.Result{}, ctx.Err()
+	case <-e.quit:
+		return sim.Result{}, ErrClosed
+	}
+}
+
+// abandon removes a never-enqueued task from the in-flight index so a later
+// identical submission does not join a task no worker will ever run.
+func (e *Engine) abandon(t *task) {
+	e.mu.Lock()
+	if cur, ok := e.inflight[t.key]; ok && cur == t {
+		delete(e.inflight, t.key)
+	}
+	e.mu.Unlock()
+}

@@ -1,0 +1,71 @@
+package engine
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a point-in-time snapshot of engine activity.
+type Stats struct {
+	// Workers is the pool size.
+	Workers int `json:"workers"`
+	// Submitted counts Submit calls (including cache hits).
+	Submitted uint64 `json:"submitted"`
+	// JobsRun counts simulations actually executed to completion.
+	JobsRun uint64 `json:"jobs_run"`
+	// Errors counts jobs that finished with an error (including
+	// cancellations and timeouts).
+	Errors uint64 `json:"errors"`
+	// CacheHits counts submissions served from the result cache.
+	CacheHits uint64 `json:"cache_hits"`
+	// CacheMisses counts submissions that had to enqueue a run.
+	CacheMisses uint64 `json:"cache_misses"`
+	// Coalesced counts submissions that attached to an identical
+	// already-in-flight job instead of enqueueing a duplicate.
+	Coalesced uint64 `json:"coalesced"`
+	// CacheEntries is the current number of cached results.
+	CacheEntries int `json:"cache_entries"`
+	// SimCycles is the total simulated cycles across completed jobs.
+	SimCycles uint64 `json:"sim_cycles"`
+	// SimWall is the summed wall-clock execution time across workers
+	// (exceeds Uptime when the pool runs in parallel).
+	SimWall time.Duration `json:"sim_wall_ns"`
+	// Uptime is the time since the engine started.
+	Uptime time.Duration `json:"uptime_ns"`
+	// CyclesPerSec is the aggregate simulation throughput: SimCycles
+	// divided by SimWall.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+}
+
+// counters holds the engine's atomic event counts.
+type counters struct {
+	submitted atomic.Uint64
+	jobsRun   atomic.Uint64
+	errors    atomic.Uint64
+	cacheHits atomic.Uint64
+	cacheMiss atomic.Uint64
+	coalesced atomic.Uint64
+	simCycles atomic.Uint64
+	simWallNS atomic.Int64
+}
+
+// snapshot assembles a Stats from the counters.
+func (c *counters) snapshot(workers, cacheEntries int, uptime time.Duration) Stats {
+	s := Stats{
+		Workers:      workers,
+		Submitted:    c.submitted.Load(),
+		JobsRun:      c.jobsRun.Load(),
+		Errors:       c.errors.Load(),
+		CacheHits:    c.cacheHits.Load(),
+		CacheMisses:  c.cacheMiss.Load(),
+		Coalesced:    c.coalesced.Load(),
+		CacheEntries: cacheEntries,
+		SimCycles:    c.simCycles.Load(),
+		SimWall:      time.Duration(c.simWallNS.Load()),
+		Uptime:       uptime,
+	}
+	if s.SimWall > 0 {
+		s.CyclesPerSec = float64(s.SimCycles) / s.SimWall.Seconds()
+	}
+	return s
+}

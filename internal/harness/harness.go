@@ -4,11 +4,14 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 	"sort"
+	"sync"
 
+	"doppelganger/internal/engine"
 	"doppelganger/internal/program"
 	"doppelganger/internal/secure"
 	"doppelganger/internal/workload"
@@ -41,11 +44,25 @@ type Options struct {
 	// reference interpreter.
 	Verify bool
 	// Progress, when non-nil, receives one line per completed run.
+	// Lines are emitted from a single goroutine in matrix order
+	// (workload, scheme, ±AP) regardless of parallelism, so the stream
+	// is byte-identical to a serial sweep's.
 	Progress io.Writer
+	// Parallelism is the engine worker-pool size; <= 0 uses one worker
+	// per available CPU. The matrix is deterministic at any setting:
+	// every cell simulates an independent core, so parallel and serial
+	// sweeps produce identical results.
+	Parallelism int
+	// Engine, when non-nil, executes the sweep (Parallelism is then
+	// ignored). Reusing one engine across sweeps shares its result
+	// cache, so repeated or overlapping matrices skip re-simulation.
+	Engine *engine.Engine
 }
 
 // Run executes the experiment matrix: each workload under the unsafe
 // baseline and the three schemes, each with and without address prediction.
+// Cells execute concurrently on the engine's worker pool; results, progress
+// lines and errors are deterministic regardless of the worker count.
 func Run(opts Options) (*Matrix, error) {
 	names := opts.Workloads
 	if len(names) == 0 {
@@ -54,44 +71,89 @@ func Run(opts Options) (*Matrix, error) {
 	sort.Strings(names)
 	m := &Matrix{Workloads: names, Results: make(map[Key]sim.Result)}
 	schemes := append([]secure.Scheme{secure.Unsafe}, Schemes...)
-	for _, name := range names {
+
+	// Build every program up front (cheap, deterministic) and, when
+	// verifying, the reference checksums — in parallel, since the
+	// interpreter runs serially per workload.
+	progs := make([]*sim.Program, len(names))
+	refSums := make([]uint64, len(names))
+	refErrs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i, name := range names {
 		w, ok := workload.ByName(name)
 		if !ok {
 			return nil, fmt.Errorf("harness: unknown workload %q", name)
 		}
-		prog := w.Build(opts.Scale)
-		var refSum uint64
+		progs[i] = w.Build(opts.Scale)
 		if opts.Verify {
-			ref := program.Run(prog, 100_000_000)
-			if !ref.Halted {
-				return nil, fmt.Errorf("harness: %s reference run did not halt", name)
-			}
-			refSum = ref.Checksum()
+			wg.Add(1)
+			go func(i int, name string) {
+				defer wg.Done()
+				ref := program.Run(progs[i], 100_000_000)
+				if !ref.Halted {
+					refErrs[i] = fmt.Errorf("harness: %s reference run did not halt", name)
+					return
+				}
+				refSums[i] = ref.Checksum()
+			}(i, name)
 		}
+	}
+	wg.Wait()
+	for _, err := range refErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// One job per cell, in matrix order. RunBatch's ordered callback then
+	// replays completions in exactly this order.
+	type cell struct {
+		Key
+		wi int
+	}
+	cells := make([]cell, 0, len(names)*len(schemes)*2)
+	jobs := make([]engine.Job, 0, cap(cells))
+	for i, name := range names {
 		for _, s := range schemes {
 			for _, ap := range []bool{false, true} {
-				cfg := sim.Config{Scheme: s, AddressPrediction: ap}
-				core, err := sim.NewCore(prog, cfg)
-				if err != nil {
-					return nil, err
-				}
-				if err := core.Run(0, sim.DefaultMaxCycles); err != nil {
-					return nil, fmt.Errorf("harness: %s under %v ap=%v: %w", name, s, ap, err)
-				}
-				if opts.Verify {
-					if got := core.ArchState().Checksum(); got != refSum {
-						return nil, fmt.Errorf("harness: %s under %v ap=%v: architectural state diverged",
-							name, s, ap)
-					}
-				}
-				res := sim.Summarize(prog, cfg, core)
-				m.Results[Key{name, s, ap}] = res
-				if opts.Progress != nil {
-					fmt.Fprintf(opts.Progress, "%-16s %-7v ap=%-5v cycles=%9d ipc=%.3f cov=%.2f acc=%.2f\n",
-						name, s, ap, res.Cycles, res.IPC, res.Coverage, res.Accuracy)
-				}
+				cells = append(cells, cell{Key{name, s, ap}, i})
+				jobs = append(jobs, engine.Job{
+					Program: progs[i],
+					Config:  sim.Config{Scheme: s, AddressPrediction: ap},
+				})
 			}
 		}
+	}
+
+	eng := opts.Engine
+	if eng == nil {
+		eng = engine.New(engine.Options{Workers: opts.Parallelism})
+		defer eng.Close()
+	}
+
+	var verifyErr error
+	_, err := eng.RunBatch(context.Background(), jobs, func(i int, res sim.Result, err error) {
+		if err != nil || verifyErr != nil {
+			return
+		}
+		c := cells[i]
+		if opts.Verify && res.Checksum != refSums[c.wi] {
+			verifyErr = fmt.Errorf("harness: %s under %v ap=%v: architectural state diverged",
+				c.Workload, c.Scheme, c.AP)
+			return
+		}
+		m.Results[c.Key] = res
+		if opts.Progress != nil {
+			fmt.Fprintf(opts.Progress, "%-16s %-7v ap=%-5v cycles=%9d ipc=%.3f cov=%.2f acc=%.2f\n",
+				c.Workload, c.Scheme, c.AP, res.Cycles, res.IPC, res.Coverage, res.Accuracy)
+		}
+	})
+	if err != nil {
+		// Engine errors already name the program, scheme and cause.
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	if verifyErr != nil {
+		return nil, verifyErr
 	}
 	return m, nil
 }

@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"doppelganger/internal/engine"
+	"doppelganger/internal/workload"
+)
+
+// TestParallelMatrixMatchesSerial is the engine-integration determinism
+// guarantee: a sweep on N workers produces a Matrix identical in every
+// sim.Result field to a single-worker sweep, and the progress stream is
+// byte-identical (ordered callbacks) despite concurrent completion.
+func TestParallelMatrixMatchesSerial(t *testing.T) {
+	opts := Options{
+		Scale:     workload.ScaleTest,
+		Workloads: []string{"matrix_blocked", "stream", "tree_search"},
+		Verify:    true,
+	}
+
+	var serialLog bytes.Buffer
+	serialOpts := opts
+	serialOpts.Parallelism = 1
+	serialOpts.Progress = &serialLog
+	serial, err := Run(serialOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var parallelLog bytes.Buffer
+	parallelOpts := opts
+	parallelOpts.Parallelism = 4
+	parallelOpts.Progress = &parallelLog
+	parallel, err := Run(parallelOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(serial.Workloads, parallel.Workloads) {
+		t.Fatalf("workload lists differ: %v vs %v", serial.Workloads, parallel.Workloads)
+	}
+	if len(serial.Results) != len(parallel.Results) {
+		t.Fatalf("cell counts differ: %d vs %d", len(serial.Results), len(parallel.Results))
+	}
+	for k, sres := range serial.Results {
+		pres, ok := parallel.Results[k]
+		if !ok {
+			t.Fatalf("parallel matrix missing cell %+v", k)
+		}
+		if !reflect.DeepEqual(sres, pres) {
+			t.Errorf("cell %+v diverges:\nserial:   %+v\nparallel: %+v", k, sres, pres)
+		}
+	}
+	if serialLog.String() != parallelLog.String() {
+		t.Errorf("progress streams differ:\nserial:\n%s\nparallel:\n%s",
+			serialLog.String(), parallelLog.String())
+	}
+}
+
+// TestSharedEngineCachesAcrossSweeps re-runs a sweep on one engine and
+// expects every cell of the second pass to come from the result cache.
+func TestSharedEngineCachesAcrossSweeps(t *testing.T) {
+	eng := engine.New(engine.Options{Workers: 4})
+	defer eng.Close()
+	opts := Options{
+		Scale:     workload.ScaleTest,
+		Workloads: []string{"matrix_blocked"},
+		Engine:    eng,
+	}
+	first, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runsAfterFirst := eng.Stats().JobsRun
+	second, err := Run(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := eng.Stats()
+	if st.JobsRun != runsAfterFirst {
+		t.Errorf("second sweep re-simulated: %d jobs run, want %d", st.JobsRun, runsAfterFirst)
+	}
+	if st.CacheHits < uint64(len(first.Results)) {
+		t.Errorf("cache hits = %d, want >= %d", st.CacheHits, len(first.Results))
+	}
+	if !reflect.DeepEqual(first.Results, second.Results) {
+		t.Error("cached sweep differs from the original")
+	}
+}

@@ -141,6 +141,13 @@ type Result struct {
 	Coverage float64
 	Accuracy float64
 
+	// Checksum digests the final architectural state (registers and
+	// memory). Equal checksums across schemes certify that a secure
+	// scheme preserved the baseline's architectural behaviour, and they
+	// let cached or remotely-computed results be verified without
+	// re-simulating.
+	Checksum uint64
+
 	Stats  Stats
 	Memory MemoryStats
 }
@@ -188,6 +195,7 @@ func Summarize(p *Program, cfg Config, c *Core) Result {
 		IPC:      st.IPC(),
 		Coverage: st.Coverage(),
 		Accuracy: st.Accuracy(),
+		Checksum: c.ArchState().Checksum(),
 		Stats:    st,
 		Memory:   pipeline.SnapshotMemory(c.Hierarchy()),
 	}
