@@ -1,6 +1,7 @@
 GO ?= go
+STATICCHECK ?= staticcheck
 
-.PHONY: build test vet race check fmt figures
+.PHONY: build test vet race staticcheck check fmt figures smoke
 
 build:
 	$(GO) build ./...
@@ -16,10 +17,24 @@ vet:
 race:
 	$(GO) test -race ./...
 
-check: vet race
+# Runs staticcheck when the binary is on PATH; skips (successfully) when it
+# is not, so `make check` works in minimal containers. CI installs it.
+staticcheck:
+	@if command -v $(STATICCHECK) >/dev/null 2>&1; then \
+		$(STATICCHECK) ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+check: vet staticcheck race
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 figures:
 	$(GO) run ./cmd/figures -scale test
+
+# End-to-end smoke: start doppeld, run one traced simulation through the
+# HTTP API, and assert the Prometheus endpoint exposes simulator metrics.
+smoke:
+	./scripts/smoke.sh

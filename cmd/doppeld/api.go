@@ -20,6 +20,12 @@ type RunRequest struct {
 	// TimeoutMS bounds the run's wall-clock time in milliseconds
 	// (0 = the server's default).
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Trace attaches a trace sink to the run and returns the captured
+	// events in the response. Traced runs bypass the result cache.
+	Trace bool `json:"trace,omitempty"`
+	// TraceEvents caps how many of the most recent events are kept
+	// (0 = a server default; the server also enforces a hard ceiling).
+	TraceEvents int `json:"trace_events,omitempty"`
 }
 
 // RunResponse is one completed simulation.
@@ -31,6 +37,11 @@ type RunResponse struct {
 	Scheme   string     `json:"scheme"`
 	AP       bool       `json:"ap"`
 	Result   sim.Result `json:"result"`
+	// Events holds the run's captured trace (most recent first-to-last)
+	// when the request set "trace"; EventsDropped counts older events that
+	// fell out of the bounded ring.
+	Events        []sim.TraceEvent `json:"events,omitempty"`
+	EventsDropped uint64           `json:"events_dropped,omitempty"`
 }
 
 // SweepRequest asks for a workload × scheme × ±AP matrix.

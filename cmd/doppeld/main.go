@@ -12,6 +12,9 @@
 //	curl -s -X POST localhost:8080/v1/sweep -d '{"scale":"test"}'
 //	curl -s localhost:8080/v1/results/sweep-1
 //	curl -s localhost:8080/stats
+//	curl -s localhost:8080/metrics          # Prometheus text format
+//	curl -s -X POST localhost:8080/v1/run \
+//	    -d '{"workload":"stream","scale":"test","trace":true}'   # with events
 package main
 
 import (
@@ -26,6 +29,7 @@ import (
 	"time"
 
 	"doppelganger/internal/engine"
+	"doppelganger/sim"
 )
 
 func main() {
@@ -37,12 +41,14 @@ func main() {
 	)
 	flag.Parse()
 
+	met := sim.NewMetrics()
 	eng := engine.New(engine.Options{
 		Workers:    *workers,
 		CacheSize:  *cacheSize,
 		JobTimeout: *jobLimit,
+		Metrics:    met,
 	})
-	srv := newServer(eng)
+	srv := newServer(eng, met)
 	hs := &http.Server{Addr: *addr, Handler: srv.handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -19,11 +19,20 @@ import (
 // maxStoredResults bounds the in-memory result store (FIFO eviction).
 const maxStoredResults = 256
 
+// defaultTraceEvents and maxTraceEvents bound the per-run trace ring for
+// traced /v1/run requests: the response keeps the most recent events and
+// reports how many older ones were dropped.
+const (
+	defaultTraceEvents = 4096
+	maxTraceEvents     = 65536
+)
+
 // server is the doppeld HTTP API over one shared engine. All simulation
 // work funnels through the engine, so concurrent requests share its worker
 // pool, result cache and in-flight deduplication.
 type server struct {
 	eng   *engine.Engine
+	met   *sim.Metrics
 	start time.Time
 
 	nextID atomic.Uint64
@@ -43,9 +52,16 @@ type progKey struct {
 	scale workload.Scale
 }
 
-func newServer(eng *engine.Engine) *server {
+// newServer wraps an engine and an optional metrics registry (nil disables
+// the /metrics endpoint's simulator families; the endpoint itself always
+// serves).
+func newServer(eng *engine.Engine, met *sim.Metrics) *server {
+	if met == nil {
+		met = sim.NewMetrics()
+	}
 	return &server{
 		eng:      eng,
+		met:      met,
 		start:    time.Now(),
 		results:  make(map[string]any),
 		programs: make(map[progKey]*sim.Program),
@@ -60,6 +76,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -123,16 +140,43 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	res, err := s.eng.Submit(r.Context(), engine.Job{
-		Program: prog,
-		Config: sim.Config{
-			Scheme:            scheme,
-			AddressPrediction: req.AP,
-			MaxInsts:          req.MaxInsts,
-			MaxCycles:         req.MaxCycles,
-		},
-		Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
-	})
+	cfg := sim.Config{
+		Scheme:            scheme,
+		AddressPrediction: req.AP,
+		MaxInsts:          req.MaxInsts,
+		MaxCycles:         req.MaxCycles,
+	}
+	var (
+		res  sim.Result
+		ring *sim.RingSink
+	)
+	if req.Trace {
+		// A traced run carries per-run state the shared result cache cannot
+		// hold, so it bypasses the engine and runs in the request goroutine
+		// (metrics still flow into the shared registry).
+		limit := req.TraceEvents
+		if limit <= 0 {
+			limit = defaultTraceEvents
+		}
+		if limit > maxTraceEvents {
+			limit = maxTraceEvents
+		}
+		ring = sim.NewRingSink(limit)
+		ctx := r.Context()
+		if req.TimeoutMS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+			defer cancel()
+		}
+		res, err = sim.RunContext(ctx, prog, cfg,
+			sim.WithTracer(ring), sim.WithMetrics(s.met))
+	} else {
+		res, err = s.eng.Submit(r.Context(), engine.Job{
+			Program: prog,
+			Config:  cfg,
+			Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+		})
+	}
 	if err != nil {
 		writeSimError(w, err)
 		return
@@ -146,8 +190,20 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		AP:       req.AP,
 		Result:   res,
 	}
+	if ring != nil {
+		resp.Events = ring.Events()
+		resp.EventsDropped = ring.Dropped()
+	}
 	s.store(resp.ID, resp)
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMetrics serves the shared registry in Prometheus text exposition
+// format: engine activity plus the simulator families (pipeline histograms,
+// cache hit/miss counters, end-of-run totals) of every run executed so far.
+func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.WritePrometheus(w)
 }
 
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {

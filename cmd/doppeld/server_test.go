@@ -10,13 +10,14 @@ import (
 	"testing"
 
 	"doppelganger/internal/engine"
+	"doppelganger/sim"
 )
 
 func newTestServer(t *testing.T) *httptest.Server {
 	t.Helper()
 	eng := engine.New(engine.Options{Workers: 4})
 	t.Cleanup(eng.Close)
-	ts := httptest.NewServer(newServer(eng).handler())
+	ts := httptest.NewServer(newServer(eng, nil).handler())
 	t.Cleanup(ts.Close)
 	return ts
 }
@@ -179,6 +180,88 @@ func TestResultsUnknownIDIs404(t *testing.T) {
 	var e errorResponse
 	if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
 		t.Errorf("not a JSON error body: %s", raw)
+	}
+}
+
+// TestMetricsEndpoint mirrors main.go's wiring — one registry shared by the
+// engine and the server — and checks an executed run surfaces simulator and
+// engine metric families on /metrics.
+func TestMetricsEndpoint(t *testing.T) {
+	met := sim.NewMetrics()
+	eng := engine.New(engine.Options{Workers: 2, Metrics: met})
+	t.Cleanup(eng.Close)
+	ts := httptest.NewServer(newServer(eng, met).handler())
+	t.Cleanup(ts.Close)
+
+	if resp, body := postJSON(t, ts.URL+"/v1/run",
+		`{"workload":"stream","scheme":"dom","ap":true,"scale":"test"}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status %d: %s", resp.StatusCode, body)
+	}
+
+	resp, raw := getJSON(t, ts.URL+"/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type = %q, want text/plain exposition", ct)
+	}
+	out := string(raw)
+	for _, family := range []string{
+		"sim_cycles_total",
+		"sim_cache_hits_total",
+		"sim_shadow_lifetime_cycles",
+		"engine_jobs_total",
+		"engine_cache_misses_total",
+	} {
+		if !strings.Contains(out, family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+}
+
+// TestTracedRun checks trace:true returns per-run events and preserves the
+// result, and that the event budget is clamped and reported.
+func TestTracedRun(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/run",
+		`{"workload":"stream","scheme":"dom","ap":true,"scale":"test","trace":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var run RunResponse
+	if err := json.Unmarshal(body, &run); err != nil {
+		t.Fatalf("bad response JSON: %v", err)
+	}
+	if len(run.Events) == 0 {
+		t.Fatal("traced run returned no events")
+	}
+	if run.Result.Cycles == 0 || run.Result.Checksum == 0 {
+		t.Errorf("traced run lost its result: %+v", run.Result)
+	}
+	for i, e := range run.Events {
+		if e.Kind.String() == "" {
+			t.Fatalf("event %d has no kind: %+v", i, e)
+		}
+	}
+
+	// A tight budget keeps only the newest events and reports the drop.
+	resp, body = postJSON(t, ts.URL+"/v1/run",
+		`{"workload":"stream","scheme":"dom","ap":true,"scale":"test","trace":true,"trace_events":16}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var small RunResponse
+	if err := json.Unmarshal(body, &small); err != nil {
+		t.Fatalf("bad response JSON: %v", err)
+	}
+	if len(small.Events) > 16 {
+		t.Errorf("events = %d, want <= 16", len(small.Events))
+	}
+	if small.EventsDropped == 0 {
+		t.Error("tight budget reported no dropped events")
+	}
+	if small.Result.Checksum != run.Result.Checksum {
+		t.Error("trace budget changed the architectural result")
 	}
 }
 

@@ -7,7 +7,9 @@
 //	doppelsim -workload stream -all -parallel 8           # comparison on 8 workers
 //	doppelsim -workload stream -scheme dom -json          # machine-readable result
 //	doppelsim -list                                       # show workloads
-//	doppelsim -workload stream -trace 1000:1200           # event trace window
+//	doppelsim -workload stream -trace 1000:1200           # JSONL events for a cycle window
+//	doppelsim -workload stream -trace all -trace-out t.jsonl
+//	doppelsim -workload stream -scheme dom -metrics -     # Prometheus text on stdout
 package main
 
 import (
@@ -15,6 +17,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -36,7 +39,9 @@ func main() {
 		scaleName    = flag.String("scale", "full", "workload scale: full or test")
 		maxInsts     = flag.Uint64("maxinsts", 0, "stop after committing this many instructions (0 = run to halt)")
 		maxCycles    = flag.Uint64("maxcycles", 0, "cycle budget (0 = default)")
-		trace        = flag.String("trace", "", "event trace window, cycles, as from:to")
+		trace        = flag.String("trace", "", "emit JSONL trace events: a cycle window as from:to, or \"all\"")
+		traceOut     = flag.String("trace-out", "-", "trace destination file (\"-\" = stdout)")
+		metricsOut   = flag.String("metrics", "", "write run metrics in Prometheus text format to this file (\"-\" = stdout)")
 		verify       = flag.Bool("verify", false, "cross-check the final state against the reference interpreter")
 		list         = flag.Bool("list", false, "list suite workloads and exit")
 		parallel     = flag.Int("parallel", 0, "with -all, engine worker-pool size (0 = one per CPU)")
@@ -92,32 +97,48 @@ func main() {
 		MaxCycles:         *maxCycles,
 		Core:              &cc,
 	}
-	core, err := sim.NewCore(prog, cfg)
+	var opts []sim.RunOption
+	if *trace != "" {
+		w, closeTrace, err := openOut(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		defer closeTrace()
+		opts = append(opts, sim.WithTracer(sim.NewJSONLSink(w)))
+		if *trace != "all" {
+			var from, to uint64
+			if _, err := fmt.Sscanf(*trace, "%d:%d", &from, &to); err != nil {
+				fail(fmt.Errorf("bad -trace %q, want from:to or \"all\"", *trace))
+			}
+			opts = append(opts, sim.WithTraceWindow(from, to))
+		}
+	}
+	var met *sim.Metrics
+	if *metricsOut != "" {
+		met = sim.NewMetrics()
+		opts = append(opts, sim.WithMetrics(met))
+	}
+	res, err := sim.RunContext(context.Background(), prog, cfg, opts...)
 	if err != nil {
 		fail(err)
 	}
-	if *trace != "" {
-		var from, to uint64
-		if _, err := fmt.Sscanf(*trace, "%d:%d", &from, &to); err != nil {
-			fail(fmt.Errorf("bad -trace %q, want from:to", *trace))
+	if met != nil {
+		w, closeMetrics, err := openOut(*metricsOut)
+		if err != nil {
+			fail(err)
 		}
-		core.SetTraceWindow(from, to)
-	}
-	limit := cfg.MaxCycles
-	if limit == 0 {
-		limit = sim.DefaultMaxCycles
-	}
-	if err := core.Run(cfg.MaxInsts, limit); err != nil {
-		fail(err)
+		if err := met.WritePrometheus(w); err != nil {
+			fail(err)
+		}
+		closeMetrics()
 	}
 	if *verify {
 		ref := sim.Interpret(prog, 500_000_000)
-		if core.ArchState().Checksum() != ref.Checksum() {
+		if res.Checksum != ref.Checksum() {
 			fail(fmt.Errorf("verification FAILED: core state differs from the reference interpreter"))
 		}
 		fmt.Println("verification OK: architectural state matches the reference interpreter")
 	}
-	res := sim.Summarize(prog, cfg, core)
 	if *jsonOut {
 		printJSON(struct {
 			Scheme string     `json:"scheme"`
@@ -127,6 +148,19 @@ func main() {
 		return
 	}
 	printResult(res)
+}
+
+// openOut resolves an output destination: "-" is stdout (with a no-op
+// closer), anything else is created as a file.
+func openOut(path string) (io.Writer, func(), error) {
+	if path == "-" {
+		return os.Stdout, func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
 }
 
 // printJSON writes any value as indented JSON on stdout.

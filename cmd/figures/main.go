@@ -15,6 +15,7 @@ import (
 
 	"doppelganger/internal/harness"
 	"doppelganger/internal/workload"
+	"doppelganger/sim"
 )
 
 func main() {
@@ -25,8 +26,37 @@ func main() {
 	quiet := flag.Bool("quiet", false, "suppress per-run progress lines")
 	parallel := flag.Int("parallel", 0, "engine worker-pool size for the sweep (0 = one per CPU)")
 	csvPath := flag.String("csv", "", "also export the full matrix as CSV to this file")
+	metricsPath := flag.String("metrics", "", "export sweep metrics in Prometheus text format to this file (\"-\" = stdout)")
 	check := flag.Bool("check", false, "run the qualitative shape checks and exit non-zero on failure")
 	flag.Parse()
+
+	var met *sim.Metrics
+	if *metricsPath != "" {
+		met = sim.NewMetrics()
+	}
+	writeMetrics := func() {
+		if met == nil {
+			return
+		}
+		out := os.Stdout
+		if *metricsPath != "-" {
+			f, err := os.Create(*metricsPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "figures:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := met.WritePrometheus(out); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+	}
+	var runOpts []sim.RunOption
+	if met != nil {
+		runOpts = append(runOpts, sim.WithMetrics(met))
+	}
 
 	if *only == "table1" {
 		harness.PrintTable1(os.Stdout)
@@ -42,12 +72,13 @@ func main() {
 			name = strings.Split(*names, ",")[0]
 		}
 		axis := (*only)[12:]
-		points, err := harness.RunSensitivity(axis, name, sc)
+		points, err := harness.RunSensitivity(axis, name, sc, runOpts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
 		}
 		harness.PrintSensitivity(os.Stdout, axis, name, points)
+		writeMetrics()
 		return
 	}
 	if *only == "extensions" {
@@ -59,12 +90,13 @@ func main() {
 		if *names != "" {
 			name = strings.Split(*names, ",")[0]
 		}
-		rows, err := harness.RunExtensions(name, sc)
+		rows, err := harness.RunExtensions(name, sc, runOpts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
 		}
 		harness.PrintExtensions(os.Stdout, name, rows)
+		writeMetrics()
 		return
 	}
 
@@ -79,7 +111,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := harness.Options{Scale: sc, Verify: *verify, Parallelism: *parallel}
+	opts := harness.Options{Scale: sc, Verify: *verify, Parallelism: *parallel, Metrics: met}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}
@@ -91,6 +123,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
+	writeMetrics()
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

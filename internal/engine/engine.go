@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"doppelganger/internal/obs"
 	"doppelganger/sim"
 )
 
@@ -24,6 +25,11 @@ type Options struct {
 	// JobTimeout bounds each job's wall-clock execution unless the job
 	// carries its own Timeout. Zero means no limit.
 	JobTimeout time.Duration
+	// Metrics, when non-nil, receives engine activity (queue depth, cache
+	// hits and misses, job latency) and every executed job's simulator
+	// metrics (live histograms plus end-of-run counters). The registry
+	// never influences results or cache keys.
+	Metrics *obs.Metrics
 }
 
 // DefaultCacheSize is the result-cache capacity when Options.CacheSize is
@@ -47,6 +53,38 @@ type Engine struct {
 
 	start time.Time
 	ctr   counters
+	met   *engineMetrics
+}
+
+// engineMetrics caches the engine's registry handles.
+type engineMetrics struct {
+	reg        *obs.Metrics
+	queueDepth *obs.Gauge
+	cacheHits  *obs.Counter
+	cacheMiss  *obs.Counter
+	jobs       *obs.Counter
+	jobErrors  *obs.Counter
+	jobLatency *obs.Histogram
+}
+
+// jobLatencyBuckets are milliseconds; paper-harness jobs run from
+// sub-millisecond (cached microbenchmarks) to tens of seconds (full
+// workload sweeps).
+var jobLatencyBuckets = []uint64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+
+func newEngineMetrics(m *obs.Metrics) *engineMetrics {
+	if m == nil {
+		return nil
+	}
+	return &engineMetrics{
+		reg:        m,
+		queueDepth: m.Gauge("engine_queue_depth", "Submissions waiting for a free worker."),
+		cacheHits:  m.Counter("engine_cache_hits_total", "Submissions served from the result cache."),
+		cacheMiss:  m.Counter("engine_cache_misses_total", "Submissions that had to enqueue a run."),
+		jobs:       m.Counter("engine_jobs_total", "Simulations executed to completion."),
+		jobErrors:  m.Counter("engine_job_errors_total", "Jobs that finished with an error."),
+		jobLatency: m.Histogram("engine_job_duration_ms", "Wall-clock job execution time in milliseconds.", jobLatencyBuckets),
+	}
 }
 
 // task is one queued execution; done is closed once res/err are set.
@@ -77,6 +115,7 @@ func New(opts Options) *Engine {
 		quit:       make(chan struct{}),
 		inflight:   make(map[Key]*task),
 		start:      time.Now(),
+		met:        newEngineMetrics(opts.Metrics),
 	}
 	e.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -112,9 +151,15 @@ func (e *Engine) Submit(ctx context.Context, job Job) (sim.Result, error) {
 	key := job.Key()
 	if res, ok := e.cache.Get(key); ok {
 		e.ctr.cacheHits.Add(1)
+		if e.met != nil {
+			e.met.cacheHits.Inc()
+		}
 		return res, nil
 	}
 	e.ctr.cacheMiss.Add(1)
+	if e.met != nil {
+		e.met.cacheMiss.Inc()
+	}
 
 	e.mu.Lock()
 	if t, ok := e.inflight[key]; ok {
@@ -126,12 +171,21 @@ func (e *Engine) Submit(ctx context.Context, job Job) (sim.Result, error) {
 	e.inflight[key] = t
 	e.mu.Unlock()
 
+	if e.met != nil {
+		e.met.queueDepth.Inc()
+	}
 	select {
 	case e.queue <- t:
 	case <-ctx.Done():
+		if e.met != nil {
+			e.met.queueDepth.Dec()
+		}
 		e.abandon(t)
 		return sim.Result{}, ctx.Err()
 	case <-e.quit:
+		if e.met != nil {
+			e.met.queueDepth.Dec()
+		}
 		e.abandon(t)
 		return sim.Result{}, ErrClosed
 	}

@@ -29,6 +29,9 @@ func (e *Engine) worker() {
 
 // execute runs one task, settles it, and publishes the result.
 func (e *Engine) execute(t *task) {
+	if e.met != nil {
+		e.met.queueDepth.Dec()
+	}
 	if err := t.ctx.Err(); err != nil {
 		// The submitter gave up while the task sat in the queue; settle
 		// without simulating so cancellation stops queued work promptly.
@@ -39,14 +42,25 @@ func (e *Engine) execute(t *task) {
 	}
 	start := time.Now()
 	res, err := e.runJob(t.ctx, t.job)
-	e.ctr.simWallNS.Add(time.Since(start).Nanoseconds())
+	elapsed := time.Since(start)
+	e.ctr.simWallNS.Add(elapsed.Nanoseconds())
 	t.res, t.err = res, err
 	if err != nil {
 		e.ctr.errors.Add(1)
+		if e.met != nil {
+			e.met.jobErrors.Inc()
+		}
 	} else {
 		e.ctr.jobsRun.Add(1)
 		e.ctr.simCycles.Add(res.Cycles)
 		e.cache.Put(t.key, res)
+		if e.met != nil {
+			e.met.jobs.Inc()
+			sim.RecordMetrics(e.met.reg, res)
+		}
+	}
+	if e.met != nil {
+		e.met.jobLatency.Observe(uint64(elapsed.Milliseconds()))
 	}
 	e.finish(t)
 }
@@ -78,6 +92,12 @@ func (e *Engine) runJob(ctx context.Context, job Job) (sim.Result, error) {
 	core, err := sim.NewCore(job.Program, job.Config)
 	if err != nil {
 		return sim.Result{}, err
+	}
+	if e.met != nil {
+		// Live histograms (shadow lifetime, load latency, occupancy) and
+		// cache hit/miss counters; purely observational, so the cached
+		// result stays interchangeable with an unobserved run's.
+		core.SetMetrics(e.met.reg)
 	}
 	maxCycles := job.Config.MaxCycles
 	if maxCycles == 0 {

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -18,8 +19,9 @@ type ExtensionRow struct {
 
 // RunExtensions evaluates the reproduction's beyond-the-paper variants on
 // one workload: the extra schemes, DoM value prediction, and the hybrid
-// predictor, against the paper's configurations.
-func RunExtensions(workloadName string, scale workload.Scale) ([]ExtensionRow, error) {
+// predictor, against the paper's configurations. Run options (e.g.
+// sim.WithMetrics) apply to every run.
+func RunExtensions(workloadName string, scale workload.Scale, runOpts ...sim.RunOption) ([]ExtensionRow, error) {
 	w, ok := workload.ByName(workloadName)
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown workload %q", workloadName)
@@ -59,7 +61,7 @@ func RunExtensions(workloadName string, scale workload.Scale) ([]ExtensionRow, e
 	}
 	rows := make([]ExtensionRow, 0, len(gens))
 	for _, g := range gens {
-		res, err := sim.Run(prog, g.make())
+		res, err := sim.RunContext(context.Background(), prog, g.make(), runOpts...)
 		if err != nil {
 			return nil, err
 		}

@@ -57,6 +57,10 @@ type Options struct {
 	// ignored). Reusing one engine across sweeps shares its result
 	// cache, so repeated or overlapping matrices skip re-simulation.
 	Engine *engine.Engine
+	// Metrics, when non-nil, receives the sweep's simulator and engine
+	// metrics. Applied only to engines this sweep creates; a caller
+	// passing its own Engine attaches a registry at engine construction.
+	Metrics *sim.Metrics
 }
 
 // Run executes the experiment matrix: each workload under the unsafe
@@ -127,7 +131,7 @@ func Run(opts Options) (*Matrix, error) {
 
 	eng := opts.Engine
 	if eng == nil {
-		eng = engine.New(engine.Options{Workers: opts.Parallelism})
+		eng = engine.New(engine.Options{Workers: opts.Parallelism, Metrics: opts.Metrics})
 		defer eng.Close()
 	}
 

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -21,8 +22,9 @@ type SensitivityPoint struct {
 // RunSensitivity sweeps a machine parameter and reports how robust the
 // doppelganger recovery is to it — the reviewer question the paper's fixed
 // Table 1 configuration leaves open. Supported axes: "rob", "mshrs",
-// "predictor", "ports".
-func RunSensitivity(axis, workloadName string, scale workload.Scale) ([]SensitivityPoint, error) {
+// "predictor", "ports". Run options (e.g. sim.WithMetrics) apply to every
+// run of the sweep.
+func RunSensitivity(axis, workloadName string, scale workload.Scale, runOpts ...sim.RunOption) ([]SensitivityPoint, error) {
 	w, ok := workload.ByName(workloadName)
 	if !ok {
 		return nil, fmt.Errorf("harness: unknown workload %q", workloadName)
@@ -66,7 +68,8 @@ func RunSensitivity(axis, workloadName string, scale workload.Scale) ([]Sensitiv
 	run := func(mutate func(*pipeline.Config), scheme secure.Scheme, ap bool) (sim.Result, error) {
 		cc := sim.DefaultCoreConfig()
 		mutate(&cc)
-		return sim.Run(prog, sim.Config{Scheme: scheme, AddressPrediction: ap, Core: &cc})
+		cfg := sim.Config{Scheme: scheme, AddressPrediction: ap, Core: &cc}
+		return sim.RunContext(context.Background(), prog, cfg, runOpts...)
 	}
 
 	points := make([]SensitivityPoint, 0, len(variants))

@@ -1,6 +1,10 @@
 package mem
 
-import "fmt"
+import (
+	"fmt"
+
+	"doppelganger/internal/obs"
+)
 
 // Class labels the origin of an access for statistics. The hierarchy treats
 // all classes identically (the paper's point: doppelganger accesses are
@@ -134,6 +138,49 @@ type Hierarchy struct {
 	Writebacks [3]uint64
 	// RejectedMSHR counts requests turned away by a full MSHR file.
 	RejectedMSHR uint64
+
+	// met holds optional live registry instruments; nil when no metrics
+	// registry is attached (the default, and the zero-overhead path).
+	met *hierMetrics
+}
+
+// hierMetrics caches direct instrument pointers so the Access hot path
+// never performs a registry lookup.
+type hierMetrics struct {
+	hits   [4]*obs.Counter // satisfied at L1/L2/L3/mem
+	misses [3]*obs.Counter // missed at L1/L2/L3
+}
+
+// SetMetrics attaches a metrics registry: every subsequent access counts
+// into sim_cache_hits_total / sim_cache_misses_total by level. Pass nil to
+// detach.
+func (h *Hierarchy) SetMetrics(m *obs.Metrics) {
+	if m == nil {
+		h.met = nil
+		return
+	}
+	hm := &hierMetrics{}
+	for lvl, name := range [...]string{"L1", "L2", "L3", "mem"} {
+		hm.hits[lvl] = m.Counter("sim_cache_hits_total",
+			"Memory requests satisfied at each hierarchy level.", obs.L("level", name))
+	}
+	for lvl, name := range [...]string{"L1", "L2", "L3"} {
+		hm.misses[lvl] = m.Counter("sim_cache_misses_total",
+			"Memory requests that missed at each cache level.", obs.L("level", name))
+	}
+	h.met = hm
+}
+
+// countAccess records a satisfied request into the live metrics, if any.
+func (h *Hierarchy) countAccess(level Level) {
+	hm := h.met
+	if hm == nil {
+		return
+	}
+	hm.hits[level].Inc()
+	for l := LevelL1; l < level && int(l) < len(hm.misses); l++ {
+		hm.misses[l].Inc()
+	}
 }
 
 // NewHierarchy builds the memory system; invalid configuration panics.
@@ -225,6 +272,7 @@ func (h *Hierarchy) Access(now, addr uint64, class Class, opts AccessOptions) Ac
 		// entire DoM guarantee), on hit the replacement update is delayed.
 		if h.L1D.Contains(la, now) {
 			h.L1D.Access(la, now, class, false)
+			h.countAccess(LevelL1)
 			return AccessResult{Latency: h.cfg.L1D.Latency, Level: LevelL1}
 		}
 		return AccessResult{DelayedMiss: true}
@@ -245,6 +293,7 @@ func (h *Hierarchy) Access(now, addr uint64, class Class, opts AccessOptions) Ac
 			if lat < h.cfg.L1D.Latency {
 				lat = h.cfg.L1D.Latency
 			}
+			h.countAccess(LevelL2)
 			return AccessResult{Latency: lat, Level: LevelL2, Merged: true}
 		}
 		if !opts.NoMSHR && !opts.Prefetch && h.demandMSHRs() >= h.cfg.L1MSHRs {
@@ -257,6 +306,7 @@ func (h *Hierarchy) Access(now, addr uint64, class Class, opts AccessOptions) Ac
 		if opts.Write {
 			h.L1D.MarkDirty(la)
 		}
+		h.countAccess(LevelL1)
 		return AccessResult{Latency: h.cfg.L1D.Latency, Level: LevelL1}
 	}
 
@@ -299,6 +349,7 @@ func (h *Hierarchy) Access(now, addr uint64, class Class, opts AccessOptions) Ac
 	if !opts.NoMSHR {
 		h.mshrs = append(h.mshrs, mshr{lineAddr: la, doneAt: fillAt, prefetch: opts.Prefetch})
 	}
+	h.countAccess(level)
 	return AccessResult{Latency: latency, Level: level}
 }
 

@@ -1,0 +1,253 @@
+// Package obs is the simulator's observability layer: typed trace events
+// emitted through pluggable sinks, and a metrics registry (counters, gauges,
+// fixed-bucket histograms) with Prometheus text exposition. The pipeline,
+// memory hierarchy and execution engine all report through this package;
+// the public surface is re-exported by package sim.
+//
+// The layer is designed around a zero-overhead disabled path: a core with no
+// sink attached pays a single predictable branch per potential event, and a
+// nil metrics registry costs one pointer comparison per site.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"strconv"
+)
+
+// Kind identifies the type of a trace event.
+type Kind uint8
+
+// The trace event kinds. One event is emitted per microarchitectural
+// occurrence; see each constant's comment for the populated Event fields
+// beyond Cycle/Kind.
+const (
+	// KindLoadIssue: a real (resolved-address) load accessed memory.
+	// Seq, PC, Addr, Level, Lat; FlagMerged if it joined an in-flight fill.
+	KindLoadIssue Kind = iota
+	// KindLoadPropagate: a load's value became visible to dependents.
+	// Seq, PC, Addr, Value.
+	KindLoadPropagate
+	// KindDoppIssue: a doppelganger (address-predicted) access was sent.
+	// Seq, PC, Addr (predicted), Level, Lat.
+	KindDoppIssue
+	// KindDoppVerify: a prediction matched the resolved address. Seq, PC,
+	// Addr.
+	KindDoppVerify
+	// KindDoppMispredict: a prediction was refuted by the resolved address.
+	// Seq, PC, Addr (real), Aux (predicted address).
+	KindDoppMispredict
+	// KindTaintSet: STT taint propagated into a destination register.
+	// Seq, PC, Aux (youngest-root-of-taint sequence).
+	KindTaintSet
+	// KindShadowOpen: an instruction began casting a speculation shadow.
+	// Seq, PC.
+	KindShadowOpen
+	// KindShadowClose: a shadow resolved. Seq, PC, Lat (lifetime in
+	// cycles). Shadows removed by a squash close silently.
+	KindShadowClose
+	// KindCacheAccess: the hierarchy performed an access. Addr, Level
+	// (where satisfied), Class, Lat; FlagMerged for MSHR merges.
+	KindCacheAccess
+	// KindBranchSquash: a mispredicted branch squashed younger work.
+	// Seq, PC, Addr (redirect target), Aux (uops squashed).
+	KindBranchSquash
+
+	numKinds
+)
+
+// NumKinds is the number of defined event kinds (for per-kind tables).
+const NumKinds = int(numKinds)
+
+var kindNames = [...]string{
+	KindLoadIssue:      "load_issue",
+	KindLoadPropagate:  "load_propagate",
+	KindDoppIssue:      "dopp_issue",
+	KindDoppVerify:     "dopp_verify",
+	KindDoppMispredict: "dopp_mispredict",
+	KindTaintSet:       "taint_set",
+	KindShadowOpen:     "shadow_open",
+	KindShadowClose:    "shadow_close",
+	KindCacheAccess:    "cache_access",
+	KindBranchSquash:   "branch_squash",
+}
+
+// String names the kind as it appears in JSONL output.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "kind(" + strconv.Itoa(int(k)) + ")"
+}
+
+// Event flags.
+const (
+	// FlagMerged marks a memory access that merged with an in-flight MSHR.
+	FlagMerged uint8 = 1 << iota
+)
+
+// levelNames mirror mem.Level values without importing package mem (mem
+// depends on obs, not the other way around).
+var levelNames = [...]string{"L1", "L2", "L3", "mem"}
+
+// classNames mirror mem.Class values.
+var classNames = [...]string{"demand", "doppelganger", "prefetch", "writeback"}
+
+// Event is one structured trace record. Cycle and Kind are always set; the
+// remaining fields are populated per kind (see the Kind constants). The
+// struct is plain data, safe to copy and retain.
+type Event struct {
+	// Cycle is the simulation cycle the event occurred in.
+	Cycle uint64
+	// Kind is the event type.
+	Kind Kind
+	// Seq is the dynamic instruction sequence number (0 when not tied to
+	// an instruction, e.g. prefetch cache accesses).
+	Seq uint64
+	// PC is the instruction's program counter.
+	PC uint64
+	// Addr is the memory address involved.
+	Addr uint64
+	// Value is the data value involved (load propagation).
+	Value int64
+	// Lat is a duration in cycles: access latency or shadow lifetime.
+	Lat uint64
+	// Aux is kind-specific extra data (predicted address, taint root,
+	// squashed-uop count).
+	Aux uint64
+	// Level is the cache level (mem.Level numeric value) for memory events.
+	Level uint8
+	// Class is the access class (mem.Class numeric value) for cache events.
+	Class uint8
+	// Flags holds boolean event properties (FlagMerged).
+	Flags uint8
+}
+
+// AppendJSON appends the event as a single-line JSON object (no trailing
+// newline). Zero-valued optional fields are omitted; Cycle and Kind always
+// appear. The encoding is hand-rolled so tracing does not allocate per
+// event.
+func (e Event) AppendJSON(b []byte) []byte {
+	b = append(b, `{"cycle":`...)
+	b = strconv.AppendUint(b, e.Cycle, 10)
+	b = append(b, `,"kind":"`...)
+	b = append(b, e.Kind.String()...)
+	b = append(b, '"')
+	if e.Seq != 0 {
+		b = append(b, `,"seq":`...)
+		b = strconv.AppendUint(b, e.Seq, 10)
+	}
+	if e.PC != 0 || e.Seq != 0 {
+		b = append(b, `,"pc":`...)
+		b = strconv.AppendUint(b, e.PC, 10)
+	}
+	if e.Addr != 0 {
+		b = append(b, `,"addr":`...)
+		b = strconv.AppendUint(b, e.Addr, 10)
+	}
+	if e.Value != 0 {
+		b = append(b, `,"value":`...)
+		b = strconv.AppendInt(b, e.Value, 10)
+	}
+	if e.Lat != 0 {
+		b = append(b, `,"lat":`...)
+		b = strconv.AppendUint(b, e.Lat, 10)
+	}
+	if e.Aux != 0 {
+		b = append(b, `,"aux":`...)
+		b = strconv.AppendUint(b, e.Aux, 10)
+	}
+	if e.Kind == KindLoadIssue || e.Kind == KindDoppIssue || e.Kind == KindCacheAccess {
+		b = append(b, `,"level":"`...)
+		if int(e.Level) < len(levelNames) {
+			b = append(b, levelNames[e.Level]...)
+		} else {
+			b = strconv.AppendUint(b, uint64(e.Level), 10)
+		}
+		b = append(b, '"')
+	}
+	if e.Kind == KindCacheAccess {
+		b = append(b, `,"class":"`...)
+		if int(e.Class) < len(classNames) {
+			b = append(b, classNames[e.Class]...)
+		} else {
+			b = strconv.AppendUint(b, uint64(e.Class), 10)
+		}
+		b = append(b, '"')
+	}
+	if e.Flags&FlagMerged != 0 {
+		b = append(b, `,"merged":true`...)
+	}
+	return append(b, '}')
+}
+
+// MarshalJSON implements json.Marshaler with the same encoding as
+// AppendJSON, so events embedded in API responses match JSONL trace lines.
+func (e Event) MarshalJSON() ([]byte, error) {
+	return e.AppendJSON(make([]byte, 0, 96)), nil
+}
+
+// KindByName resolves a kind from its JSONL name.
+func KindByName(name string) (Kind, bool) {
+	for k, n := range kindNames {
+		if n == name {
+			return Kind(k), true
+		}
+	}
+	return 0, false
+}
+
+func indexOf(names []string, s string) (uint8, bool) {
+	for i, n := range names {
+		if n == s {
+			return uint8(i), true
+		}
+	}
+	return 0, false
+}
+
+// UnmarshalJSON implements json.Unmarshaler, inverting MarshalJSON so
+// clients of the doppeld API (and trace post-processors) can decode events
+// back into the typed form.
+func (e *Event) UnmarshalJSON(data []byte) error {
+	var raw struct {
+		Cycle  uint64 `json:"cycle"`
+		Kind   string `json:"kind"`
+		Seq    uint64 `json:"seq"`
+		PC     uint64 `json:"pc"`
+		Addr   uint64 `json:"addr"`
+		Value  int64  `json:"value"`
+		Lat    uint64 `json:"lat"`
+		Aux    uint64 `json:"aux"`
+		Level  string `json:"level"`
+		Class  string `json:"class"`
+		Merged bool   `json:"merged"`
+	}
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	k, ok := KindByName(raw.Kind)
+	if !ok {
+		return fmt.Errorf("obs: unknown event kind %q", raw.Kind)
+	}
+	*e = Event{Cycle: raw.Cycle, Kind: k, Seq: raw.Seq, PC: raw.PC,
+		Addr: raw.Addr, Value: raw.Value, Lat: raw.Lat, Aux: raw.Aux}
+	if raw.Level != "" {
+		lv, ok := indexOf(levelNames[:], raw.Level)
+		if !ok {
+			return fmt.Errorf("obs: unknown level %q", raw.Level)
+		}
+		e.Level = lv
+	}
+	if raw.Class != "" {
+		cl, ok := indexOf(classNames[:], raw.Class)
+		if !ok {
+			return fmt.Errorf("obs: unknown class %q", raw.Class)
+		}
+		e.Class = cl
+	}
+	if raw.Merged {
+		e.Flags |= FlagMerged
+	}
+	return nil
+}

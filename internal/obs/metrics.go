@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Metrics is a registry of named instruments: monotonic counters, gauges,
+// and fixed-bucket histograms, each optionally labeled. Registration is
+// idempotent — asking for an existing (name, labels) series returns the
+// same instrument — so independent components can share one registry
+// without coordination. Registration takes a lock; the instruments
+// themselves are lock-free atomics, safe for concurrent use on hot paths.
+type Metrics struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// Label is one name="value" pair attached to a series.
+type Label struct {
+	Name, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{name, value} }
+
+// family groups all series sharing a metric name.
+type family struct {
+	name, help, typ string
+	buckets         []uint64 // histograms only; shared by all series
+	series          map[string]any
+	order           []string
+}
+
+// NewMetrics creates an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{families: make(map[string]*family)}
+}
+
+// labelString renders labels canonically ({a="x",b="y"}, sorted by name),
+// or "" when unlabeled.
+func labelString(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(l.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup finds or creates the (family, series) slot, enforcing type
+// consistency. make builds a new instrument.
+func (m *Metrics) lookup(name, help, typ string, buckets []uint64, labels []Label, make func() any) any {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, buckets: buckets, series: map[string]any{}}
+		m.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.typ, typ))
+	}
+	ls := labelString(labels)
+	if s, ok := f.series[ls]; ok {
+		return s
+	}
+	s := make()
+	f.series[ls] = s
+	f.order = append(f.order, ls)
+	sort.Strings(f.order)
+	return s
+}
+
+// Counter registers (or finds) a monotonic counter.
+func (m *Metrics) Counter(name, help string, labels ...Label) *Counter {
+	return m.lookup(name, help, "counter", nil, labels, func() any { return &Counter{} }).(*Counter)
+}
+
+// Gauge registers (or finds) a gauge.
+func (m *Metrics) Gauge(name, help string, labels ...Label) *Gauge {
+	return m.lookup(name, help, "gauge", nil, labels, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Histogram registers (or finds) a fixed-bucket histogram. Bucket edges are
+// inclusive upper bounds in ascending order; an implicit +Inf bucket is
+// added. The first registration of a name fixes the edges; later
+// registrations reuse them (differing edges panic — edges are part of the
+// metric's identity).
+func (m *Metrics) Histogram(name, help string, buckets []uint64, labels ...Label) *Histogram {
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q bucket edges not ascending: %v", name, buckets))
+		}
+	}
+	h := m.lookup(name, help, "histogram", buckets, labels, func() any {
+		return newHistogram(buckets)
+	}).(*Histogram)
+	if len(h.edges) != len(buckets) {
+		panic(fmt.Sprintf("obs: histogram %q re-registered with different buckets", name))
+	}
+	for i := range buckets {
+		if h.edges[i] != buckets[i] {
+			panic(fmt.Sprintf("obs: histogram %q re-registered with different buckets", name))
+		}
+	}
+	return h
+}
+
+// Counter is a lock-free monotonic counter.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a lock-free instantaneous value.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// SetMax raises the gauge to v if v is greater (monotonic high-water mark).
+func (g *Gauge) SetMax(v int64) {
+	for {
+		cur := g.v.Load()
+		if v <= cur || g.v.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket histogram of uint64 observations (cycle
+// counts, latencies, occupancies). Buckets are inclusive upper bounds plus
+// an implicit +Inf; observation is lock-free.
+type Histogram struct {
+	edges  []uint64
+	counts []atomic.Uint64 // len(edges)+1; last is +Inf
+	sum    atomic.Uint64
+	count  atomic.Uint64
+}
+
+func newHistogram(edges []uint64) *Histogram {
+	return &Histogram{
+		edges:  append([]uint64(nil), edges...),
+		counts: make([]atomic.Uint64, len(edges)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := 0
+	for i < len(h.edges) && v > h.edges[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// Edges returns the configured bucket upper bounds (without +Inf).
+func (h *Histogram) Edges() []uint64 { return append([]uint64(nil), h.edges...) }
+
+// BucketCounts returns the per-bucket (non-cumulative) counts; the final
+// element is the +Inf bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Standard bucket edge sets, in cycles, shared so dashboards can compare
+// runs. Edges are powers of two spanning an L1 hit to a DRAM round trip
+// (latency), a branch-resolution to a long-stall shadow (lifetime), and the
+// paper's Table 1 structure sizes (occupancy).
+var (
+	// LatencyBuckets grade memory access latencies.
+	LatencyBuckets = []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}
+	// LifetimeBuckets grade speculation shadow lifetimes.
+	LifetimeBuckets = []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+	// OccupancyBuckets grade ROB/IQ/queue occupancies.
+	OccupancyBuckets = []uint64{0, 4, 8, 16, 32, 64, 96, 128, 192, 256, 384}
+)

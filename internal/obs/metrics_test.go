@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryIdempotent(t *testing.T) {
+	m := NewMetrics()
+	a := m.Counter("x_total", "help")
+	b := m.Counter("x_total", "other help ignored")
+	if a != b {
+		t.Error("same (name, labels) must return the same counter")
+	}
+	l1 := m.Counter("y_total", "h", L("level", "L1"))
+	l2 := m.Counter("y_total", "h", L("level", "L2"))
+	if l1 == l2 {
+		t.Error("different labels must return different series")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("type mismatch on an existing name must panic")
+		}
+	}()
+	m.Gauge("x_total", "now a gauge")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	m := NewMetrics()
+	h := m.Histogram("lat", "h", LatencyBuckets)
+
+	// Golden bucket edges: these are the published schema of the latency,
+	// lifetime and occupancy histograms; changing them breaks dashboards.
+	if want := []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}; !reflect.DeepEqual(LatencyBuckets, want) {
+		t.Errorf("LatencyBuckets = %v, want %v", LatencyBuckets, want)
+	}
+	if want := []uint64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}; !reflect.DeepEqual(LifetimeBuckets, want) {
+		t.Errorf("LifetimeBuckets = %v, want %v", LifetimeBuckets, want)
+	}
+	if want := []uint64{0, 4, 8, 16, 32, 64, 96, 128, 192, 256, 384}; !reflect.DeepEqual(OccupancyBuckets, want) {
+		t.Errorf("OccupancyBuckets = %v, want %v", OccupancyBuckets, want)
+	}
+
+	for _, v := range []uint64{0, 1, 2, 3, 600} {
+		h.Observe(v)
+	}
+	counts := h.BucketCounts()
+	// 0 and 1 land in le=1; 2 in le=2; 3 in le=4; 600 in +Inf.
+	want := []uint64{2, 1, 1, 0, 0, 0, 0, 0, 0, 0, 1}
+	if !reflect.DeepEqual(counts, want) {
+		t.Errorf("bucket counts = %v, want %v", counts, want)
+	}
+	if h.Count() != 5 || h.Sum() != 606 {
+		t.Errorf("count=%d sum=%d, want 5, 606", h.Count(), h.Sum())
+	}
+	if !reflect.DeepEqual(h.Edges(), LatencyBuckets) {
+		t.Errorf("Edges = %v", h.Edges())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering with different buckets must panic")
+		}
+	}()
+	m.Histogram("lat", "h", []uint64{5, 10})
+}
+
+func TestGaugeSetMax(t *testing.T) {
+	var g Gauge
+	g.SetMax(5)
+	g.SetMax(3)
+	if g.Value() != 5 {
+		t.Errorf("SetMax lowered the gauge: %d", g.Value())
+	}
+	g.SetMax(9)
+	if g.Value() != 9 {
+		t.Errorf("SetMax did not raise the gauge: %d", g.Value())
+	}
+}
+
+// TestPrometheusGolden pins the exact exposition text for a small registry:
+// family ordering (sorted by name), label rendering, histogram cumulative
+// buckets with +Inf, _sum and _count.
+func TestPrometheusGolden(t *testing.T) {
+	m := NewMetrics()
+	c := m.Counter("sim_cycles_total", "Total simulated cycles.")
+	c.Add(123)
+	m.Counter("sim_cache_accesses_total", "Cache accesses by level.", L("level", "L1")).Add(10)
+	m.Counter("sim_cache_accesses_total", "Cache accesses by level.", L("level", "L2")).Add(4)
+	g := m.Gauge("engine_queue_depth", "Jobs waiting for a worker.")
+	g.Set(2)
+	h := m.Histogram("sim_shadow_lifetime_cycles", "Shadow lifetimes.", []uint64{1, 4, 16})
+	h.Observe(1)
+	h.Observe(3)
+	h.Observe(100)
+
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP engine_queue_depth Jobs waiting for a worker.
+# TYPE engine_queue_depth gauge
+engine_queue_depth 2
+# HELP sim_cache_accesses_total Cache accesses by level.
+# TYPE sim_cache_accesses_total counter
+sim_cache_accesses_total{level="L1"} 10
+sim_cache_accesses_total{level="L2"} 4
+# HELP sim_cycles_total Total simulated cycles.
+# TYPE sim_cycles_total counter
+sim_cycles_total 123
+# HELP sim_shadow_lifetime_cycles Shadow lifetimes.
+# TYPE sim_shadow_lifetime_cycles histogram
+sim_shadow_lifetime_cycles_bucket{le="1"} 1
+sim_shadow_lifetime_cycles_bucket{le="4"} 2
+sim_shadow_lifetime_cycles_bucket{le="16"} 2
+sim_shadow_lifetime_cycles_bucket{le="+Inf"} 3
+sim_shadow_lifetime_cycles_sum 104
+sim_shadow_lifetime_cycles_count 3
+`
+	if got := sb.String(); got != want {
+		t.Errorf("Prometheus output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestPrometheusLabeledHistogram checks le splices into an existing label
+// set.
+func TestPrometheusLabeledHistogram(t *testing.T) {
+	m := NewMetrics()
+	m.Histogram("h", "", []uint64{10}, L("kind", "dopp")).Observe(5)
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`h_bucket{kind="dopp",le="10"} 1`,
+		`h_bucket{kind="dopp",le="+Inf"} 1`,
+		`h_sum{kind="dopp"} 5`,
+		`h_count{kind="dopp"} 1`,
+	} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestMetricsConcurrency(t *testing.T) {
+	m := NewMetrics()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.Counter("c_total", "").Inc()
+				m.Histogram("h", "", LatencyBuckets).Observe(uint64(j % 700))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := m.Counter("c_total", "").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := m.Histogram("h", "", LatencyBuckets).Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestEventJSON(t *testing.T) {
+	e := Event{Cycle: 42, Kind: KindLoadIssue, Seq: 7, PC: 3, Addr: 0x100, Lat: 12, Level: 1, Flags: FlagMerged}
+	raw, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("event JSON does not parse: %v\n%s", err, raw)
+	}
+	for k, want := range map[string]any{
+		"cycle": 42.0, "kind": "load_issue", "seq": 7.0, "pc": 3.0,
+		"addr": 256.0, "lat": 12.0, "level": "L2", "merged": true,
+	} {
+		if got := m[k]; got != want {
+			t.Errorf("field %q = %v, want %v", k, got, want)
+		}
+	}
+	// Optional zero fields are omitted.
+	if _, ok := m["value"]; ok {
+		t.Errorf("zero value field not omitted: %s", raw)
+	}
+	// A minimal event still carries cycle and kind.
+	raw2, _ := json.Marshal(Event{Kind: KindShadowOpen})
+	if want := `{"cycle":0,"kind":"shadow_open"}`; string(raw2) != want {
+		t.Errorf("minimal event = %s, want %s", raw2, want)
+	}
+}
+
+func TestEventJSONRoundTrip(t *testing.T) {
+	events := []Event{
+		{Cycle: 42, Kind: KindLoadIssue, Seq: 7, PC: 3, Addr: 0x100, Lat: 12, Level: 1, Flags: FlagMerged},
+		{Cycle: 1, Kind: KindCacheAccess, Addr: 64, Level: 3, Class: 2, Lat: 200},
+		{Cycle: 9, Kind: KindLoadPropagate, Seq: 2, PC: 5, Addr: 8, Value: -17},
+		{Kind: KindShadowOpen},
+		{Cycle: 100, Kind: KindBranchSquash, Seq: 50, PC: 12, Addr: 16, Aux: 30},
+	}
+	for _, e := range events {
+		raw, err := json.Marshal(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Event
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", raw, err)
+		}
+		if got != e {
+			t.Errorf("round trip of %s:\n got %+v\nwant %+v", raw, got, e)
+		}
+	}
+	var e Event
+	if err := json.Unmarshal([]byte(`{"cycle":1,"kind":"nope"}`), &e); err == nil {
+		t.Error("unknown kind unmarshalled without error")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		s := k.String()
+		if s == "" || strings.HasPrefix(s, "kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestJSONLSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONLSink(&buf)
+	for i := 0; i < 10; i++ {
+		s.Emit(Event{Cycle: uint64(i), Kind: KindCacheAccess, Addr: 64 * uint64(i), Class: 1})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Count() != 10 {
+		t.Fatalf("Count = %d, want 10", s.Count())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 10 {
+		t.Fatalf("got %d lines, want 10", len(lines))
+	}
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("line %q does not parse: %v", ln, err)
+		}
+		if m["kind"] != "cache_access" {
+			t.Fatalf("line %q has kind %v", ln, m["kind"])
+		}
+	}
+}
+
+func TestRingSink(t *testing.T) {
+	s := NewRingSink(4)
+	for i := 1; i <= 10; i++ {
+		s.Emit(Event{Cycle: uint64(i)})
+	}
+	ev := s.Events()
+	if len(ev) != 4 {
+		t.Fatalf("retained %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if want := uint64(7 + i); e.Cycle != want {
+			t.Errorf("event %d cycle = %d, want %d (oldest-first order)", i, e.Cycle, want)
+		}
+	}
+	if s.Dropped() != 6 {
+		t.Errorf("Dropped = %d, want 6", s.Dropped())
+	}
+	// Under capacity: no wrap, no drops.
+	s2 := NewRingSink(8)
+	s2.Emit(Event{Cycle: 1})
+	if got := s2.Events(); len(got) != 1 || got[0].Cycle != 1 || s2.Dropped() != 0 {
+		t.Errorf("unwrapped ring wrong: %v dropped=%d", got, s2.Dropped())
+	}
+}
+
+func TestCountingSink(t *testing.T) {
+	ring := NewRingSink(16)
+	s := NewCountingSink(ring)
+	s.Emit(Event{Kind: KindDoppIssue})
+	s.Emit(Event{Kind: KindDoppIssue})
+	s.Emit(Event{Kind: KindDoppVerify})
+	if s.Count(KindDoppIssue) != 2 || s.Count(KindDoppVerify) != 1 || s.Total() != 3 {
+		t.Errorf("counts wrong: issue=%d verify=%d total=%d",
+			s.Count(KindDoppIssue), s.Count(KindDoppVerify), s.Total())
+	}
+	if ring.Len() != 3 {
+		t.Errorf("events not forwarded: %d", ring.Len())
+	}
+	// Pure counter (nil next) must not panic.
+	NewCountingSink(nil).Emit(Event{Kind: KindTaintSet})
+}
+
+func TestFilterSink(t *testing.T) {
+	ring := NewRingSink(16)
+	f := NewFilterSink(ring, Kinds(KindLoadIssue)).SetWindow(0, 10)
+	f.Emit(Event{Cycle: 0, Kind: KindLoadIssue})  // in window: cycle 0 must work
+	f.Emit(Event{Cycle: 5, Kind: KindDoppIssue})  // wrong kind
+	f.Emit(Event{Cycle: 11, Kind: KindLoadIssue}) // past window
+	f.Emit(Event{Cycle: 10, Kind: KindLoadIssue}) // inclusive upper edge
+	if ring.Len() != 2 {
+		t.Fatalf("filtered to %d events, want 2", ring.Len())
+	}
+	for _, e := range ring.Events() {
+		if e.Kind != KindLoadIssue || e.Cycle > 10 {
+			t.Errorf("event escaped filter: %+v", e)
+		}
+	}
+	// Zero kind set passes all kinds.
+	ring2 := NewRingSink(4)
+	NewFilterSink(ring2, 0).Emit(Event{Kind: KindBranchSquash})
+	if ring2.Len() != 1 {
+		t.Error("zero kind set should pass all kinds")
+	}
+}
+
+func TestMultiSink(t *testing.T) {
+	a, b := NewRingSink(4), NewRingSink(4)
+	m := Multi(a, nil, b)
+	m.Emit(Event{Cycle: 1})
+	if a.Len() != 1 || b.Len() != 1 {
+		t.Errorf("multi did not fan out: a=%d b=%d", a.Len(), b.Len())
+	}
+	if Multi() != nil {
+		t.Error("empty Multi should be nil")
+	}
+	if Multi(a) != TraceSink(a) {
+		t.Error("single Multi should unwrap")
+	}
+}
+
+func TestTextSink(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewTextSink(&buf)
+	s.Emit(Event{Cycle: 1234, Kind: KindLoadIssue, Seq: 9, PC: 4, Addr: 0x40, Lat: 3, Level: 0})
+	got := buf.String()
+	for _, want := range []string{"[  1234]", "load_issue", "seq=9", "pc=4", "addr=0x40", "level=L1", "lat=3"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("text line %q missing %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Families are sorted by name and series by label
+// string, so output is deterministic — golden tests and diff-based
+// monitoring both rely on that.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	names := make([]string, 0, len(m.families))
+	for name := range m.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = m.families[n]
+	}
+	m.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.typ)
+		for _, ls := range f.order {
+			switch s := f.series[ls].(type) {
+			case *Counter:
+				b.WriteString(f.name)
+				b.WriteString(ls)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(s.Value(), 10))
+				b.WriteByte('\n')
+			case *Gauge:
+				b.WriteString(f.name)
+				b.WriteString(ls)
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatInt(s.Value(), 10))
+				b.WriteByte('\n')
+			case *Histogram:
+				writeHistogram(&b, f.name, ls, s)
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// writeHistogram renders one histogram series: cumulative buckets with an
+// le label, then _sum and _count.
+func writeHistogram(b *strings.Builder, name, labels string, h *Histogram) {
+	counts := h.BucketCounts()
+	var cum uint64
+	for i, edge := range h.edges {
+		cum += counts[i]
+		writeBucket(b, name, labels, strconv.FormatUint(edge, 10), cum)
+	}
+	cum += counts[len(counts)-1]
+	writeBucket(b, name, labels, "+Inf", cum)
+	fmt.Fprintf(b, "%s_sum%s %d\n", name, labels, h.Sum())
+	fmt.Fprintf(b, "%s_count%s %d\n", name, labels, h.Count())
+}
+
+// writeBucket renders one cumulative bucket line, merging the le label into
+// any existing label set.
+func writeBucket(b *strings.Builder, name, labels, le string, cum uint64) {
+	b.WriteString(name)
+	b.WriteString("_bucket")
+	if labels == "" {
+		b.WriteString(`{le="`)
+		b.WriteString(le)
+		b.WriteString(`"}`)
+	} else {
+		// labels is "{...}": splice le before the closing brace.
+		b.WriteString(labels[:len(labels)-1])
+		b.WriteString(`,le="`)
+		b.WriteString(le)
+		b.WriteString(`"}`)
+	}
+	b.WriteByte(' ')
+	b.WriteString(strconv.FormatUint(cum, 10))
+	b.WriteByte('\n')
+}

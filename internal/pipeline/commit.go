@@ -5,6 +5,7 @@ import (
 
 	"doppelganger/internal/isa"
 	"doppelganger/internal/mem"
+	"doppelganger/internal/obs"
 )
 
 // commit retires up to CommitWidth finished instructions in program order.
@@ -114,8 +115,12 @@ func (c *Core) commitStore(u *uop) {
 	e := &c.sqEntries[u.sqIdx]
 
 	c.backing[e.addr] = e.data
-	c.hier.Access(c.cycle, e.addr, mem.ClassWriteback, mem.AccessOptions{NoMSHR: true, Write: true})
+	res := c.hier.Access(c.cycle, e.addr, mem.ClassWriteback, mem.AccessOptions{NoMSHR: true, Write: true})
 	c.Stats.CommittedStores++
+	if c.tracing {
+		c.emit(obs.Event{Kind: obs.KindCacheAccess, Seq: u.seq, PC: u.pc, Addr: e.addr,
+			Level: uint8(res.Level), Class: uint8(mem.ClassWriteback), Lat: res.Latency})
+	}
 
 	c.sqEntries[u.sqIdx] = sqEntry{}
 	c.sq.popHead()

@@ -5,6 +5,7 @@ import (
 
 	"doppelganger/internal/isa"
 	"doppelganger/internal/mem"
+	"doppelganger/internal/obs"
 	"doppelganger/internal/predictor"
 	"doppelganger/internal/program"
 	"doppelganger/internal/secure"
@@ -83,7 +84,13 @@ type Core struct {
 
 	prefetchBuf []uint64
 
-	traceFrom, traceTo uint64
+	// Observability: attached trace sink (tracing caches sink != nil for the
+	// hot path), optional cycle window, and cached metric handles.
+	sink           obs.TraceSink
+	tracing        bool
+	winOn          bool
+	winFrom, winTo uint64
+	met            *coreMetrics
 
 	// Stats accumulates raw event counts for the run.
 	Stats Stats
@@ -231,6 +238,10 @@ func (c *Core) Step() {
 		}
 	}
 	c.Stats.Cycles = c.cycle
+	if c.met != nil {
+		c.met.robOcc.Observe(uint64(c.rob.len()))
+		c.met.iqOcc.Observe(uint64(len(c.iq)))
+	}
 }
 
 // ArchRegs returns the current architectural register values (the committed

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"doppelganger/internal/mem"
+	"doppelganger/internal/obs"
 	"doppelganger/internal/secure"
 )
 
@@ -30,6 +31,7 @@ func (c *Core) storeQueuePass() {
 		if e.u.castsShadow && !e.u.shadowResolved && e.addrValid && c.storeAddrSafe(e) {
 			e.u.shadowResolved = true
 			c.shadows.Resolve(e.u.seq)
+			c.noteShadowClose(e.u)
 			if c.storeResolveScan(e) {
 				// A violation squash rewrote the young end of both
 				// queues; the loop bound re-reads sq.len() so
@@ -155,6 +157,7 @@ func (c *Core) loadQueuePass() {
 				// Exception shadow: lifted once the address translates.
 				u.shadowResolved = true
 				c.shadows.Resolve(u.seq)
+				c.noteShadowClose(u)
 			}
 		}
 		if e.pendingStoreSeq != 0 {
@@ -170,12 +173,19 @@ func (c *Core) loadQueuePass() {
 			if e.predAddr == e.addr {
 				e.verified = true
 				c.Stats.DoppVerified++
+				if c.tracing {
+					c.emit(obs.Event{Kind: obs.KindDoppVerify, Seq: u.seq, PC: u.pc, Addr: e.addr})
+				}
 			} else {
 				e.mispredicted = true
 				e.storeForwarded = false
 				e.pendingStoreSeq = 0
 				e.fwdStore = 0
 				c.Stats.DoppMispredicted++
+				if c.tracing {
+					c.emit(obs.Event{Kind: obs.KindDoppMispredict, Seq: u.seq, PC: u.pc,
+						Addr: e.addr, Aux: e.predAddr})
+				}
 			}
 		}
 
@@ -257,7 +267,10 @@ func (c *Core) loadQueuePass() {
 				c.squashAfter(u.seq-1, u.pc, u.hist)
 				return
 			}
-			c.trace("load seq=%d pc=%d propagate addr=%#x val=%#x", u.seq, u.pc, e.addr, e.value)
+			if c.tracing {
+				c.emit(obs.Event{Kind: obs.KindLoadPropagate, Seq: u.seq, PC: u.pc,
+					Addr: e.addr, Value: e.value})
+			}
 			c.regVal[u.dst] = e.value
 			c.regReady[u.dst] = true
 			u.result = e.value
@@ -355,8 +368,18 @@ func (c *Core) issueRealLoad(e *lqEntry, ports *int) {
 	e.valueAt = c.cycle + res.Latency
 	e.level = res.Level
 	e.value = c.backing[e.addr]
+	if c.met != nil {
+		c.met.loadLatency.Observe(res.Latency)
+	}
 	c.firePrefetches(e.u.pc, e.addr)
-	c.trace("load seq=%d pc=%d issue addr=%#x level=%v lat=%d merged=%v", e.u.seq, e.u.pc, e.addr, res.Level, res.Latency, res.Merged)
+	if c.tracing {
+		var fl uint8
+		if res.Merged {
+			fl = obs.FlagMerged
+		}
+		c.emit(obs.Event{Kind: obs.KindLoadIssue, Seq: e.u.seq, PC: e.u.pc, Addr: e.addr,
+			Level: uint8(res.Level), Lat: res.Latency, Flags: fl})
+	}
 	if opts.DoMSpeculative && res.Level == mem.LevelL1 {
 		e.needsL1Touch = true
 	}
@@ -380,7 +403,14 @@ func (c *Core) issueDoppelganger(e *lqEntry, ports *int) {
 	e.doppHitL1 = res.Level == mem.LevelL1
 	c.Stats.DoppIssued++
 	c.firePrefetches(e.u.pc, e.predAddr)
-	c.trace("dopp seq=%d pc=%d issue addr=%#x level=%v lat=%d merged=%v", e.u.seq, e.u.pc, e.predAddr, res.Level, res.Latency, res.Merged)
+	if c.tracing {
+		var fl uint8
+		if res.Merged {
+			fl = obs.FlagMerged
+		}
+		c.emit(obs.Event{Kind: obs.KindDoppIssue, Seq: e.u.seq, PC: e.u.pc, Addr: e.predAddr,
+			Level: uint8(res.Level), Lat: res.Latency, Flags: fl})
+	}
 	if s := c.youngestOlderStore(e.u.seq, e.predAddr); s != nil {
 		e.storeForwarded = true
 		e.fwdStore = s.u.seq
@@ -408,6 +438,15 @@ func (c *Core) firePrefetches(pc, addr uint64) {
 		res := c.hier.Access(c.cycle, t, mem.ClassPrefetch, mem.AccessOptions{Prefetch: true})
 		if !res.Rejected {
 			c.Stats.PrefetchesIssued++
+			if c.tracing {
+				var fl uint8
+				if res.Merged {
+					fl = obs.FlagMerged
+				}
+				c.emit(obs.Event{Kind: obs.KindCacheAccess, PC: pc, Addr: t,
+					Level: uint8(res.Level), Class: uint8(mem.ClassPrefetch),
+					Lat: res.Latency, Flags: fl})
+			}
 		}
 	}
 }

@@ -1,0 +1,56 @@
+package pipeline
+
+import "doppelganger/internal/obs"
+
+// StatsSnapshot returns the run's statistics with the shadow and taint
+// census folded in from the live trackers. Use it instead of reading the
+// Stats field directly when the census matters (sim.Summarize does).
+func (c *Core) StatsSnapshot() Stats {
+	st := c.Stats
+	st.ShadowsCast = c.shadows.Opened()
+	st.ShadowPeak = uint64(c.shadows.Peak())
+	if c.taints != nil {
+		st.TaintedWrites = c.taints.TaintedWrites()
+	}
+	return st
+}
+
+// RecordStats flushes end-of-run counters into a metrics registry. It is
+// cumulative: each completed run adds its totals, so a long-lived registry
+// (e.g. the doppeld process registry) aggregates across runs. Live per-event
+// histograms and cache hit/miss counters are attached separately via
+// Core.SetMetrics.
+func RecordStats(m *obs.Metrics, st Stats, ms MemoryStats) {
+	if m == nil {
+		return
+	}
+	add := func(name, help string, v uint64) {
+		if v != 0 {
+			m.Counter(name, help).Add(v)
+		} else {
+			m.Counter(name, help) // register so the family is always exposed
+		}
+	}
+	add("sim_cycles_total", "Simulated cycles across completed runs.", st.Cycles)
+	add("sim_instructions_total", "Committed instructions.", st.Committed)
+	add("sim_loads_total", "Committed loads.", st.CommittedLoads)
+	add("sim_stores_total", "Committed stores.", st.CommittedStores)
+	add("sim_branches_total", "Committed branches.", st.CommittedBranches)
+	add("sim_branch_mispredicts_total", "Branch mispredict squashes.", st.BranchMispredicts)
+	add("sim_squashed_uops_total", "Uops removed by any squash.", st.Squashed)
+	add("sim_mem_order_violations_total", "Load-store memory-order violation squashes.", st.MemOrderViolations)
+	add("sim_stlf_forwards_total", "Store-to-load forwards.", st.STLFForwards)
+	add("sim_prefetches_total", "Prefetch accesses issued.", st.PrefetchesIssued)
+	add("sim_dopp_predictions_total", "Address predictions produced at dispatch.", st.DoppPredictions)
+	add("sim_dopp_issued_total", "Doppelganger memory accesses sent.", st.DoppIssued)
+	add("sim_dopp_verified_total", "Doppelganger predictions that verified.", st.DoppVerified)
+	add("sim_dopp_mispredicted_total", "Doppelganger predictions refuted.", st.DoppMispredicted)
+	add("sim_dom_delayed_misses_total", "DoM speculative misses delayed.", st.DoMDelayedMisses)
+	add("sim_stt_taint_stalls_total", "Load issues blocked on a tainted address.", st.STTTaintStalls)
+	add("sim_shadows_cast_total", "Speculation shadows opened.", st.ShadowsCast)
+	add("sim_tainted_reg_writes_total", "Register writes carrying taint.", st.TaintedWrites)
+	m.Gauge("sim_shadow_peak", "High-water mark of simultaneously open shadows.").
+		SetMax(int64(st.ShadowPeak))
+	add("sim_dram_reads_total", "DRAM read accesses.", ms.DRAMAccesses)
+	add("sim_dram_writes_total", "DRAM write accesses.", ms.DRAMWrites)
+}

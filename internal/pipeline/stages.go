@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"doppelganger/internal/isa"
+	"doppelganger/internal/obs"
 	"doppelganger/internal/program"
 )
 
@@ -119,6 +120,7 @@ func (c *Core) dispatch() {
 			u.castsShadow = true
 			c.shadows.Add(u.seq)
 			c.ctrlShadows.Add(u.seq)
+			c.noteShadowOpen(u)
 			c.iq = append(c.iq, u)
 		case isa.KindLoad:
 			li := c.lq.push()
@@ -128,6 +130,7 @@ func (c *Core) dispatch() {
 			if c.cfg.ExceptionShadows {
 				u.castsShadow = true
 				c.shadows.Add(u.seq)
+				c.noteShadowOpen(u)
 			}
 			c.inflight[u.pc]++
 			if n := uint64(c.inflight[u.pc]); n > c.Stats.MaxInflightPerPC {
@@ -151,6 +154,7 @@ func (c *Core) dispatch() {
 			// A store casts a data shadow until its address resolves.
 			u.castsShadow = true
 			c.shadows.Add(u.seq)
+			c.noteShadowOpen(u)
 			c.iq = append(c.iq, u)
 		}
 		n++
@@ -195,6 +199,11 @@ func (c *Core) issue() {
 			c.inflightExec = append(c.inflightExec, u)
 			if c.cfg.Scheme.TracksTaint() {
 				c.taints.SetCombined(u.dst, u.src[:u.nsrc]...)
+				if c.tracing {
+					if root := c.taints.Root(u.dst); root != 0 {
+						c.emit(obs.Event{Kind: obs.KindTaintSet, Seq: u.seq, PC: u.pc, Aux: root})
+					}
+				}
 			}
 		case isa.KindBranch:
 			a := c.regVal[u.src[0]]
@@ -289,9 +298,9 @@ func (c *Core) resolveBranches() {
 		u.shadowResolved = true
 		c.shadows.Resolve(u.seq)
 		c.ctrlShadows.Resolve(u.seq)
+		c.noteShadowClose(u)
 		if u.actTarget != u.predTarget {
 			c.Stats.BranchMispredicts++
-			c.trace("branch seq=%d pc=%d MISPREDICT -> squash, redirect %d", u.seq, u.pc, u.actTarget)
 			bit := uint64(0)
 			if u.actTaken {
 				bit = 1
@@ -300,7 +309,12 @@ func (c *Core) resolveBranches() {
 			if c.bpG != nil {
 				newHist = ((u.hist << 1) | bit) & c.bpG.HistoryMask()
 			}
+			preSquashed := c.Stats.Squashed
 			c.squashAfter(u.seq, u.actTarget, newHist)
+			if c.tracing {
+				c.emit(obs.Event{Kind: obs.KindBranchSquash, Seq: u.seq, PC: u.pc,
+					Addr: u.actTarget, Aux: c.Stats.Squashed - preSquashed})
+			}
 			// The squash rebuilt pendingResolve in place; stop and let
 			// the filter below drop this (now resolved) branch.
 			break

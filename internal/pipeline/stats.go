@@ -49,6 +49,12 @@ type Stats struct {
 	// accuracy is correct predictions over predictions made).
 	CommittedPredictedLoads   uint64
 	CommittedCorrectPredicted uint64
+
+	// Speculation-shadow and taint census, filled in by StatsSnapshot (the
+	// trackers own the live counts).
+	ShadowsCast   uint64 // shadows ever opened
+	ShadowPeak    uint64 // maximum simultaneously open shadows
+	TaintedWrites uint64 // register writes carrying a non-zero taint root
 }
 
 // IPC returns committed instructions per cycle.

@@ -1,20 +1,119 @@
 package pipeline
 
-import "fmt"
+import "doppelganger/internal/obs"
 
-// SetTraceWindow enables event tracing (load issues, doppelganger issues,
-// propagations, mispredict squashes) for cycles in [from, to]. Events are
-// written to standard output; pass 0, 0 to disable. Intended for debugging
-// and the CLI's -trace flag.
-func (c *Core) SetTraceWindow(from, to uint64) {
-	c.traceFrom, c.traceTo = from, to
+// Tracing: the core emits typed obs.Events to an attached TraceSink. With
+// no sink attached (the default), every emission site costs one predictable
+// branch on c.tracing — the nil fast path benchmarked by
+// BenchmarkSimulatorThroughput.
+
+// SetTraceSink attaches a trace sink; pass nil to detach. Must be called
+// before Run (the core is single-use and not safe for concurrent use).
+func (c *Core) SetTraceSink(s obs.TraceSink) {
+	c.sink = s
+	c.tracing = s != nil
 }
 
-// trace emits one event line when tracing is enabled for the current cycle.
-func (c *Core) trace(format string, args ...any) {
-	if c.traceFrom == 0 || c.cycle < c.traceFrom || c.cycle > c.traceTo {
+// SetCycleWindow restricts event emission to cycles in [from, to]
+// (inclusive). A window may start at cycle 0; it limits which events reach
+// the sink but does not itself enable tracing — attach a sink for that.
+func (c *Core) SetCycleWindow(from, to uint64) {
+	c.winOn, c.winFrom, c.winTo = true, from, to
+}
+
+// ClearCycleWindow removes the cycle window, so an attached sink sees every
+// event.
+func (c *Core) ClearCycleWindow() { c.winOn = false }
+
+// SetTraceWindow enables event tracing for cycles in [from, to]; pass 0, 0
+// to disable. If no sink is attached it installs a human-readable sink on
+// standard output, preserving this method's historical behaviour.
+//
+// Deprecated: use SetTraceSink plus SetCycleWindow (or the sim package's
+// WithTracer and WithTraceWindow run options). Note the historical contract
+// makes a window starting at cycle 0 unreachable — 0, 0 means "disable" —
+// which SetCycleWindow fixes with an explicit enabled flag.
+func (c *Core) SetTraceWindow(from, to uint64) {
+	if from == 0 && to == 0 {
+		c.ClearCycleWindow()
+		c.SetTraceSink(nil)
 		return
 	}
-	fmt.Printf("[%6d] ", c.cycle)
-	fmt.Printf(format+"\n", args...)
+	c.SetCycleWindow(from, to)
+	if c.sink == nil {
+		c.SetTraceSink(obs.Stdout)
+	}
+}
+
+// emit stamps the current cycle and forwards the event to the sink,
+// applying the cycle window. Callers must check c.tracing first.
+func (c *Core) emit(e obs.Event) {
+	if c.winOn && (c.cycle < c.winFrom || c.cycle > c.winTo) {
+		return
+	}
+	e.Cycle = c.cycle
+	c.sink.Emit(e)
+}
+
+// noteShadowOpen records that u began casting a speculation shadow.
+func (c *Core) noteShadowOpen(u *uop) {
+	u.shadowAt = c.cycle
+	if c.tracing {
+		c.emit(obs.Event{Kind: obs.KindShadowOpen, Seq: u.seq, PC: u.pc})
+	}
+}
+
+// noteShadowClose records that u's shadow resolved, observing its lifetime.
+// Shadows removed by a squash never reach here (their lifetime is not a
+// resolution).
+func (c *Core) noteShadowClose(u *uop) {
+	life := c.cycle - u.shadowAt
+	if c.met != nil {
+		c.met.shadowLifetime.Observe(life)
+	}
+	if c.tracing {
+		c.emit(obs.Event{Kind: obs.KindShadowClose, Seq: u.seq, PC: u.pc, Lat: life})
+	}
+}
+
+// coreMetrics caches direct histogram pointers for the per-event
+// observations; nil when no registry is attached.
+type coreMetrics struct {
+	shadowLifetime *obs.Histogram
+	loadLatency    *obs.Histogram
+	robOcc         *obs.Histogram
+	iqOcc          *obs.Histogram
+}
+
+// SetMetrics attaches a metrics registry: the core observes shadow
+// lifetimes, demand-load latencies and per-cycle ROB/IQ occupancy into
+// scheme/ap-labeled histograms, and the memory hierarchy counts per-level
+// hits and misses. Pass nil to detach. End-of-run counters are flushed
+// separately via RecordStats (the sim package does both).
+func (c *Core) SetMetrics(m *obs.Metrics) {
+	if m == nil {
+		c.met = nil
+		c.hier.SetMetrics(nil)
+		return
+	}
+	ap := "false"
+	if c.cfg.AddressPrediction {
+		ap = "true"
+	}
+	ls := []obs.Label{obs.L("scheme", c.cfg.Scheme.String()), obs.L("ap", ap)}
+	c.met = &coreMetrics{
+		shadowLifetime: m.Histogram("sim_shadow_lifetime_cycles",
+			"Cycles each speculation shadow stayed open, from cast to resolution.",
+			obs.LifetimeBuckets, ls...),
+		loadLatency: m.Histogram("sim_load_latency_cycles",
+			"Round-trip latency of issued demand loads.",
+			obs.LatencyBuckets, ls...),
+		robOcc: m.Histogram("sim_rob_occupancy",
+			"Per-cycle reorder-buffer occupancy.",
+			obs.OccupancyBuckets, ls...),
+		iqOcc: m.Histogram("sim_iq_occupancy",
+			"Per-cycle issue-queue occupancy.",
+			obs.OccupancyBuckets, ls...),
+	}
+	c.hier.SetMetrics(m)
 }

@@ -45,6 +45,7 @@ type uop struct {
 	// Shadow bookkeeping.
 	castsShadow    bool
 	shadowResolved bool
+	shadowAt       uint64 // cycle the shadow was cast (lifetime census)
 
 	// Memory bookkeeping: index into the core's lq/sq ring, or -1.
 	lqIdx int

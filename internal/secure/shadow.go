@@ -15,6 +15,11 @@ import "fmt"
 // The zero value is an empty tracker ready for use.
 type ShadowTracker struct {
 	seqs []uint64 // sorted ascending; unresolved shadow casters
+
+	// Observability census (monotonic over the tracker's lifetime, except
+	// peak which is a high-water mark; Reset clears both).
+	opened uint64
+	peak   int
 }
 
 // Add registers an unresolved shadow cast by the instruction with the given
@@ -25,7 +30,17 @@ func (t *ShadowTracker) Add(seq uint64) {
 		panic(fmt.Sprintf("secure: shadow %d added out of order (last %d)", seq, t.seqs[n-1]))
 	}
 	t.seqs = append(t.seqs, seq)
+	t.opened++
+	if n := len(t.seqs); n > t.peak {
+		t.peak = n
+	}
 }
+
+// Opened returns the total number of shadows ever registered.
+func (t *ShadowTracker) Opened() uint64 { return t.opened }
+
+// Peak returns the maximum number of simultaneously outstanding shadows.
+func (t *ShadowTracker) Peak() int { return t.peak }
 
 // Resolve removes the shadow cast by seq, reporting whether it was present.
 func (t *ShadowTracker) Resolve(seq uint64) bool {
@@ -64,8 +79,12 @@ func (t *ShadowTracker) Frontier() (uint64, bool) {
 // Outstanding returns the number of unresolved shadows.
 func (t *ShadowTracker) Outstanding() int { return len(t.seqs) }
 
-// Reset clears all shadows.
-func (t *ShadowTracker) Reset() { t.seqs = t.seqs[:0] }
+// Reset clears all shadows and the observability census.
+func (t *ShadowTracker) Reset() {
+	t.seqs = t.seqs[:0]
+	t.opened = 0
+	t.peak = 0
+}
 
 // search returns the first index i with seqs[i] >= seq.
 func (t *ShadowTracker) search(seq uint64) int {

@@ -12,6 +12,10 @@ package secure
 type TaintTracker struct {
 	root    []uint64 // per physical register: YRoT sequence, 0 = none
 	shadows *ShadowTracker
+
+	// writes counts register writes that carried a non-zero taint root —
+	// the taint-propagation traffic STT's hardware would broadcast.
+	writes uint64
 }
 
 // NewTaintTracker sizes the tracker for a physical register file and binds
@@ -23,7 +27,12 @@ func NewTaintTracker(physRegs int, shadows *ShadowTracker) *TaintTracker {
 // SetRoot records that register r was written by the load with sequence seq
 // (the load taints its own output; whether that taint is live is decided
 // dynamically against the shadow frontier).
-func (t *TaintTracker) SetRoot(r int, seq uint64) { t.root[r] = seq }
+func (t *TaintTracker) SetRoot(r int, seq uint64) {
+	t.root[r] = seq
+	if seq != 0 {
+		t.writes++
+	}
+}
 
 // Combine computes the output taint root of an instruction reading the
 // given registers: the maximum (youngest) root among the sources.
@@ -40,8 +49,16 @@ func (t *TaintTracker) Combine(srcs ...int) uint64 {
 // SetCombined writes the combined taint of the sources into dst, modelling
 // taint flow through a non-load instruction.
 func (t *TaintTracker) SetCombined(dst int, srcs ...int) {
-	t.root[dst] = t.Combine(srcs...)
+	root := t.Combine(srcs...)
+	t.root[dst] = root
+	if root != 0 {
+		t.writes++
+	}
 }
+
+// TaintedWrites returns the number of register writes that propagated a
+// non-zero taint root (observability census).
+func (t *TaintTracker) TaintedWrites() uint64 { return t.writes }
 
 // Clear untaints a register (e.g. when it is rewritten by a non-load with
 // untainted sources, or freed).
@@ -70,9 +87,10 @@ func (t *TaintTracker) RootSpeculative(root uint64) bool {
 	return root != 0 && t.shadows.Speculative(root)
 }
 
-// Reset untaints every register.
+// Reset untaints every register and clears the census.
 func (t *TaintTracker) Reset() {
 	for i := range t.root {
 		t.root[i] = 0
 	}
+	t.writes = 0
 }

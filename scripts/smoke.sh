@@ -1,0 +1,49 @@
+#!/bin/sh
+# End-to-end smoke test for the doppeld service: boot it on a free port,
+# execute one run through the HTTP API, then assert the /metrics endpoint
+# exposes simulator metric families. Used by `make smoke` and CI.
+set -eu
+
+PORT="${SMOKE_PORT:-18080}"
+ADDR="127.0.0.1:${PORT}"
+BIN="$(mktemp -d)/doppeld"
+LOG="$(mktemp)"
+
+go build -o "$BIN" ./cmd/doppeld
+
+"$BIN" -addr "$ADDR" >"$LOG" 2>&1 &
+PID=$!
+trap 'kill "$PID" 2>/dev/null || true' EXIT
+
+# Wait for the server to come up.
+i=0
+until curl -sf "http://${ADDR}/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "smoke: doppeld did not become healthy" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+# One traced run: must succeed and return events.
+RUN=$(curl -sf -X POST "http://${ADDR}/v1/run" \
+    -H 'Content-Type: application/json' \
+    -d '{"workload":"stream","scheme":"dom","ap":true,"scale":"test","trace":true}')
+echo "$RUN" | grep -q '"events":' || {
+    echo "smoke: traced run returned no events: $RUN" >&2
+    exit 1
+}
+
+# The metrics endpoint must expose simulator and engine families.
+METRICS=$(curl -sf "http://${ADDR}/metrics")
+for family in sim_cycles_total sim_cache_hits_total sim_shadow_lifetime_cycles engine_jobs_total; do
+    echo "$METRICS" | grep -q "^${family}" || {
+        echo "smoke: /metrics missing ${family}" >&2
+        echo "$METRICS" | head -40 >&2
+        exit 1
+    }
+done
+
+echo "smoke: ok (traced run + $(echo "$METRICS" | grep -c '^[a-z]') metric lines)"

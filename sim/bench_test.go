@@ -1,0 +1,58 @@
+package sim_test
+
+import (
+	"context"
+	"testing"
+
+	"doppelganger/sim"
+)
+
+func benchProgram(b *testing.B) *sim.Program {
+	b.Helper()
+	w, ok := sim.WorkloadByName("stream")
+	if !ok {
+		b.Fatal("no stream workload")
+	}
+	return w.Build(sim.ScaleTest)
+}
+
+// BenchmarkRunUntraced is the baseline the observability layer must not
+// slow down: no sink, no metrics — the disabled fast path.
+func BenchmarkRunUntraced(b *testing.B) {
+	p := benchProgram(b)
+	cfg := sim.Config{Scheme: sim.DoM, AddressPrediction: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(p, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunTracedCounting measures the tracing-enabled path with the
+// cheapest possible sink, isolating emit overhead from encoding cost.
+func BenchmarkRunTracedCounting(b *testing.B) {
+	p := benchProgram(b)
+	cfg := sim.Config{Scheme: sim.DoM, AddressPrediction: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sink := &sim.CountingSink{}
+		if _, err := sim.RunContext(context.Background(), p, cfg, sim.WithTracer(sink)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunWithMetrics measures the metrics-attached path: per-event
+// histogram observations plus the end-of-run counter flush.
+func BenchmarkRunWithMetrics(b *testing.B) {
+	p := benchProgram(b)
+	cfg := sim.Config{Scheme: sim.DoM, AddressPrediction: true}
+	m := sim.NewMetrics()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunContext(context.Background(), p, cfg, sim.WithMetrics(m)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"io"
+
+	"doppelganger/internal/obs"
+)
+
+// Observability re-exports: the sink and metrics types accepted by the
+// WithTracer and WithMetrics run options. See internal/obs for the full
+// sink toolbox.
+
+// TraceSink receives simulator trace events; implementations must be cheap
+// (Emit is called from the simulated pipeline's inner loop).
+type TraceSink = obs.TraceSink
+
+// TraceEvent is one typed simulator event.
+type TraceEvent = obs.Event
+
+// TraceKind discriminates trace events.
+type TraceKind = obs.Kind
+
+// Trace event kinds.
+const (
+	TraceLoadIssue      = obs.KindLoadIssue
+	TraceLoadPropagate  = obs.KindLoadPropagate
+	TraceDoppIssue      = obs.KindDoppIssue
+	TraceDoppVerify     = obs.KindDoppVerify
+	TraceDoppMispredict = obs.KindDoppMispredict
+	TraceTaintSet       = obs.KindTaintSet
+	TraceShadowOpen     = obs.KindShadowOpen
+	TraceShadowClose    = obs.KindShadowClose
+	TraceCacheAccess    = obs.KindCacheAccess
+	TraceBranchSquash   = obs.KindBranchSquash
+)
+
+// JSONLSink writes events as JSON Lines; RingSink keeps the most recent
+// events in memory; CountingSink tallies per kind; FilterSink selects by
+// kind and cycle window; TextSink renders human-readable lines.
+type (
+	JSONLSink    = obs.JSONLSink
+	RingSink     = obs.RingSink
+	CountingSink = obs.CountingSink
+	FilterSink   = obs.FilterSink
+	TextSink     = obs.TextSink
+)
+
+// NewJSONLSink returns a sink writing one JSON object per event to w.
+// Call Flush (or Close) when the run finishes; RunContext flushes the
+// attached sink automatically.
+func NewJSONLSink(w io.Writer) *JSONLSink { return obs.NewJSONLSink(w) }
+
+// NewRingSink returns a sink retaining the last capacity events.
+func NewRingSink(capacity int) *RingSink { return obs.NewRingSink(capacity) }
+
+// NewTextSink returns a sink writing human-readable trace lines to w.
+func NewTextSink(w io.Writer) *TextSink { return obs.NewTextSink(w) }
+
+// MultiSink fans events out to several sinks.
+func MultiSink(sinks ...TraceSink) TraceSink { return obs.Multi(sinks...) }
+
+// Metrics is a process-wide metrics registry (counters, gauges and
+// fixed-bucket histograms) with Prometheus text exposition via
+// WritePrometheus. Safe for concurrent use and shareable across runs.
+type Metrics = obs.Metrics
+
+// NewMetrics returns an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewMetrics() }

@@ -1,0 +1,158 @@
+package sim_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+
+	"doppelganger/sim"
+)
+
+func traceConfig() sim.Config {
+	return sim.Config{Scheme: sim.DoM, AddressPrediction: true}
+}
+
+// TestTracedChecksumIdentity: a traced run streaming JSONL must produce the
+// exact same architectural result as an untraced one.
+func TestTracedChecksumIdentity(t *testing.T) {
+	p := sim.MustAssemble("quick", quickSource)
+	plain, err := sim.Run(p, traceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	traced, err := sim.RunContext(context.Background(), p, traceConfig(),
+		sim.WithTracer(sim.NewJSONLSink(&buf)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if traced.Checksum != plain.Checksum {
+		t.Errorf("traced checksum %#x != untraced %#x", traced.Checksum, plain.Checksum)
+	}
+	if traced.Cycles != plain.Cycles || traced.Insts != plain.Insts {
+		t.Errorf("traced timing diverged: %d/%d vs %d/%d cycles/insts",
+			traced.Cycles, traced.Insts, plain.Cycles, plain.Insts)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("traced run wrote no JSONL")
+	}
+	sc := bufio.NewScanner(&buf)
+	lines := 0
+	for sc.Scan() {
+		lines++
+		var e map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d is not valid JSON: %v", lines, err)
+		}
+		if _, ok := e["kind"]; !ok {
+			t.Fatalf("line %d has no kind field: %s", lines, sc.Text())
+		}
+	}
+	if lines == 0 {
+		t.Fatal("JSONL stream had no lines")
+	}
+}
+
+// TestTracedChecksumIdentityParallel runs traced and untraced simulations of
+// the same program concurrently and checks every run agrees — tracing state
+// is per-core, so parallel traced runs must not interfere.
+func TestTracedChecksumIdentityParallel(t *testing.T) {
+	p := sim.MustAssemble("quick", quickSource)
+	want, err := sim.Run(p, traceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	sums := make([]uint64, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			var opts []sim.RunOption
+			if i%2 == 0 {
+				opts = append(opts, sim.WithTracer(sim.NewRingSink(1024)))
+			}
+			res, err := sim.RunContext(context.Background(), p, traceConfig(), opts...)
+			errs[i], sums[i] = err, res.Checksum
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if sums[i] != want.Checksum {
+			t.Errorf("worker %d (traced=%v): checksum %#x != %#x", i, i%2 == 0, sums[i], want.Checksum)
+		}
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	p := sim.MustAssemble("quick", quickSource)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := sim.RunContext(ctx, p, traceConfig()); err == nil {
+		t.Fatal("RunContext with a cancelled context succeeded")
+	}
+}
+
+func TestWithMaxCycles(t *testing.T) {
+	p := sim.MustAssemble("quick", quickSource)
+	if _, err := sim.RunContext(context.Background(), p, traceConfig(), sim.WithMaxCycles(10)); err == nil {
+		t.Fatal("10-cycle budget should not be enough to halt")
+	}
+	if _, err := sim.RunContext(context.Background(), p, traceConfig(), sim.WithMaxCycles(1_000_000)); err != nil {
+		t.Fatalf("generous budget failed: %v", err)
+	}
+}
+
+func TestWithTraceWindow(t *testing.T) {
+	p := sim.MustAssemble("quick", quickSource)
+	ring := sim.NewRingSink(1 << 16)
+	if _, err := sim.RunContext(context.Background(), p, traceConfig(),
+		sim.WithTracer(ring), sim.WithTraceWindow(0, 20)); err != nil {
+		t.Fatal(err)
+	}
+	events := ring.Events()
+	if len(events) == 0 {
+		t.Fatal("window [0, 20] captured no events")
+	}
+	for _, e := range events {
+		if e.Cycle > 20 {
+			t.Errorf("event %v at cycle %d escaped window [0, 20]", e.Kind, e.Cycle)
+		}
+	}
+}
+
+// TestWithMetrics checks the run flushes its counters into the registry and
+// the registry renders them in Prometheus text format.
+func TestWithMetrics(t *testing.T) {
+	p := sim.MustAssemble("quick", quickSource)
+	m := sim.NewMetrics()
+	if _, err := sim.RunContext(context.Background(), p, traceConfig(), sim.WithMetrics(m)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, family := range []string{
+		"sim_cycles_total",
+		"sim_instructions_total",
+		"sim_cache_hits_total",
+		"sim_shadow_lifetime_cycles",
+	} {
+		if !strings.Contains(out, family) {
+			t.Errorf("Prometheus output missing %s", family)
+		}
+	}
+}

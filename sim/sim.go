@@ -12,7 +12,7 @@
 package sim
 
 import (
-	"fmt"
+	"context"
 
 	"doppelganger/internal/pipeline"
 	"doppelganger/internal/program"
@@ -167,25 +167,16 @@ func NewCore(p *Program, cfg Config) (*Core, error) {
 }
 
 // Run simulates the program to completion under the configuration and
-// returns the result summary.
+// returns the result summary. It is equivalent to RunContext with a
+// background context and no options; use RunContext to attach tracing or
+// metrics, or to make the run cancellable.
 func Run(p *Program, cfg Config) (Result, error) {
-	c, err := NewCore(p, cfg)
-	if err != nil {
-		return Result{}, err
-	}
-	maxCycles := cfg.MaxCycles
-	if maxCycles == 0 {
-		maxCycles = DefaultMaxCycles
-	}
-	if err := c.Run(cfg.MaxInsts, maxCycles); err != nil {
-		return Result{}, fmt.Errorf("sim: %q under %v: %w", p.Name, cfg.Scheme, err)
-	}
-	return Summarize(p, cfg, c), nil
+	return RunContext(context.Background(), p, cfg)
 }
 
 // Summarize assembles a Result from a finished core.
 func Summarize(p *Program, cfg Config, c *Core) Result {
-	st := c.Stats
+	st := c.StatsSnapshot()
 	return Result{
 		Program:  p.Name,
 		Scheme:   cfg.Scheme,
