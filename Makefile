@@ -1,7 +1,13 @@
 GO ?= go
 STATICCHECK ?= staticcheck
 
-.PHONY: build test vet race staticcheck check fmt figures smoke
+# Minimum acceptable total statement coverage for `make cover` (percent).
+COVER_MIN ?= 70.0
+# Benchmark-regression gate: geomean slowdown beyond this ratio fails.
+BENCH_THRESHOLD ?= 1.10
+
+.PHONY: build test vet race staticcheck check cover fmt figures smoke \
+	bench benchcheck benchbaseline leakcheck
 
 build:
 	$(GO) build ./...
@@ -26,7 +32,39 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-check: vet staticcheck race
+check: vet staticcheck race cover
+
+# Coverage gate: run the full suite with a merged statement-coverage profile
+# and fail when the total drops below COVER_MIN.
+cover:
+	$(GO) test ./... -coverprofile=coverage.out -count=1
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	echo "total statement coverage: $$total% (minimum $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v m="$(COVER_MIN)" 'BEGIN { exit (t + 0 < m + 0) ? 1 : 0 }' || \
+		{ echo "coverage gate: FAIL: $$total% < $(COVER_MIN)%"; exit 1; }
+
+# Benchmark-regression gate for the simulator hot path. Compares the gated
+# benchmarks (./sim, median of 6 counts) against the committed
+# BENCH_baseline.json and fails on a >10% geomean slowdown. Absolute ns/op
+# is machine-dependent: after an intentional perf change, or when moving the
+# reference machine, refresh the baseline with `make benchbaseline` and
+# commit the resulting BENCH_baseline.json alongside the change.
+benchcheck:
+	$(GO) test -run '^$$' -bench . -count=6 ./sim | \
+		$(GO) run ./cmd/benchcheck -baseline BENCH_baseline.json -threshold $(BENCH_THRESHOLD)
+
+benchbaseline:
+	$(GO) test -run '^$$' -bench . -count=6 ./sim | \
+		$(GO) run ./cmd/benchcheck -write BENCH_baseline.json
+
+# Full benchmark sweep (paper figures included); informational, not a gate.
+bench:
+	$(GO) test -run '^$$' -bench . ./...
+
+# Differential leakage sweep over the scheme matrix plus the mutation
+# gauntlet; `cmd/leakcheck -h` documents the flags.
+leakcheck:
+	$(GO) run ./cmd/leakcheck -seeds 256
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

@@ -1,0 +1,188 @@
+// Command benchcheck is a dependency-free benchmark-regression gate in the
+// spirit of benchstat: it parses `go test -bench` text, reduces repeated
+// counts to per-benchmark medians, and either writes a JSON baseline or
+// compares against one, failing when the geometric-mean slowdown across the
+// gated benchmarks exceeds a threshold.
+//
+// Write a baseline (commit the output as BENCH_baseline.json):
+//
+//	go test -run '^$' -bench . -count=6 ./sim | benchcheck -write BENCH_baseline.json
+//
+// Gate a change against it:
+//
+//	go test -run '^$' -bench . -count=6 ./sim | benchcheck -baseline BENCH_baseline.json
+//
+// Medians of several counts damp scheduler noise; the geomean (rather than
+// any single benchmark) damps it further. Benchmarks present on only one
+// side are reported but do not affect the verdict.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed reference: median ns/op per benchmark, with the
+// machine context that produced it recorded for humans reading diffs.
+type Baseline struct {
+	// Note is free-form provenance (host CPU line from the bench output).
+	Note string `json:"note,omitempty"`
+	// NsPerOp maps benchmark name (GOMAXPROCS suffix stripped) to the
+	// median ns/op across counts.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkRunUntraced-8   	       9	 127850275 ns/op	11328728 B/op	     246 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+
+func main() {
+	var (
+		write     = flag.String("write", "", "write a baseline JSON to this path instead of comparing")
+		baseline  = flag.String("baseline", "", "baseline JSON to compare the piped bench output against")
+		threshold = flag.Float64("threshold", 1.10, "fail when geomean(new/old) exceeds this ratio")
+		filter    = flag.String("filter", "", "regexp restricting which benchmarks participate in the gate")
+	)
+	flag.Parse()
+	if (*write == "") == (*baseline == "") {
+		fmt.Fprintln(os.Stderr, "benchcheck: exactly one of -write or -baseline is required")
+		os.Exit(2)
+	}
+
+	samples, note, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	if len(samples) == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark lines on stdin (pipe `go test -bench` output)")
+		os.Exit(2)
+	}
+	medians := make(map[string]float64, len(samples))
+	for name, s := range samples {
+		medians[name] = median(s)
+	}
+
+	if *write != "" {
+		b := Baseline{Note: note, NsPerOp: medians}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*write, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchcheck: wrote %d benchmark medians to %s\n", len(medians), *write)
+		return
+	}
+
+	data, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %s: %v\n", *baseline, err)
+		os.Exit(2)
+	}
+	var keep *regexp.Regexp
+	if *filter != "" {
+		keep, err = regexp.Compile(*filter)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcheck: bad -filter: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	names := make([]string, 0, len(medians))
+	for name := range medians {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	var logSum float64
+	var gated int
+	for _, name := range names {
+		now := medians[name]
+		old, ok := base.NsPerOp[name]
+		if !ok {
+			fmt.Printf("%-40s %12.0f ns/op  (no baseline, ignored)\n", name, now)
+			continue
+		}
+		ratio := now / old
+		mark := ""
+		if keep == nil || keep.MatchString(name) {
+			logSum += math.Log(ratio)
+			gated++
+		} else {
+			mark = "  (not gated)"
+		}
+		fmt.Printf("%-40s %12.0f -> %12.0f ns/op  %+6.1f%%%s\n",
+			name, old, now, (ratio-1)*100, mark)
+	}
+	for name := range base.NsPerOp {
+		if _, ok := medians[name]; !ok {
+			fmt.Printf("%-40s missing from this run (ignored)\n", name)
+		}
+	}
+	if gated == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no benchmarks in common with the baseline")
+		os.Exit(2)
+	}
+	geomean := math.Exp(logSum / float64(gated))
+	fmt.Printf("geomean over %d gated benchmark(s): %+.1f%% (threshold %+.1f%%)\n",
+		gated, (geomean-1)*100, (*threshold-1)*100)
+	if geomean > *threshold {
+		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: geomean slowdown %.3f exceeds %.3f\n", geomean, *threshold)
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: ok")
+}
+
+// parse collects ns/op samples per benchmark from `go test -bench` text and
+// returns the cpu: line (if any) as provenance.
+func parse(f *os.File) (map[string][]float64, string, error) {
+	samples := make(map[string][]float64)
+	var note string
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "cpu:") {
+			note = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, "", fmt.Errorf("bad ns/op in %q: %v", line, err)
+		}
+		samples[m[1]] = append(samples[m[1]], v)
+	}
+	return samples, note, sc.Err()
+}
+
+// median of the samples (mean of the middle two for even counts).
+func median(s []float64) float64 {
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

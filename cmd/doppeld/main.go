@@ -22,6 +22,7 @@ import (
 	"errors"
 	"flag"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -49,14 +50,22 @@ func main() {
 		Metrics:    met,
 	})
 	srv := newServer(eng, met)
-	hs := &http.Server{Addr: *addr, Handler: srv.handler()}
+	hs := &http.Server{Handler: srv.handler()}
+
+	// Listen explicitly (rather than ListenAndServe) so -addr :0 works:
+	// the kernel-chosen port is in ln.Addr, and the log line below is the
+	// contract scripts/smoke.sh parses to find the server.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("doppeld: %v", err)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	errc := make(chan error, 1)
-	go func() { errc <- hs.ListenAndServe() }()
-	log.Printf("doppeld: listening on %s (%d workers)", *addr, eng.Workers())
+	go func() { errc <- hs.Serve(ln) }()
+	log.Printf("doppeld: listening on %s (%d workers)", ln.Addr(), eng.Workers())
 
 	select {
 	case err := <-errc:

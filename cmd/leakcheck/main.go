@@ -1,0 +1,233 @@
+// Command leakcheck runs the differential side-channel checker: randomized
+// transient-execution gadgets are executed twice with only the secret bytes
+// differing, and any divergence in attacker-observable micro-architectural
+// state (caches, MSHR timeline, predictors, traffic, cycles) is reported as
+// a leak.
+//
+//	leakcheck -seeds 256                      # full matrix + mutation gauntlet
+//	leakcheck -seeds 64 -schemes stt,dom      # subset of the scheme matrix
+//	leakcheck -seeds 1024 -json               # machine-readable report
+//	leakcheck -seeds 256 -minimize            # shrink each reproducer
+//	leakcheck -seed 42 -schemes dom -ap on    # one seed, one cell, with disasm
+//
+// Exit status: 0 when every expectation holds (secure schemes silent, the
+// unsafe baseline divergent, every planted mutation caught), 1 when any
+// fails, 2 on usage or infrastructure errors.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"doppelganger/internal/leakcheck"
+	"doppelganger/internal/secure"
+)
+
+func main() {
+	var (
+		seeds     = flag.Int("seeds", 256, "number of gadget seeds to sweep per config")
+		firstSeed = flag.Int64("first", 0, "first seed of the sweep")
+		oneSeed   = flag.Int64("seed", -1, "check a single seed (prints its disassembly); overrides -seeds/-first")
+		schemes   = flag.String("schemes", "unsafe,nda-p,stt,dom", "comma-separated schemes to sweep")
+		apMode    = flag.String("ap", "both", "doppelganger loads: on, off or both")
+		mutations = flag.Bool("mutations", true, "also run the mutation gauntlet (planted scheme weakenings must be caught)")
+		mutSeeds  = flag.Int("mutation-seeds", 64, "max seeds to hunt per planted mutation")
+		minimize  = flag.Bool("minimize", false, "minimize each leaking reproducer")
+		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent gadget checks")
+	)
+	flag.Parse()
+
+	cfgs, err := parseConfigs(*schemes, *apMode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leakcheck:", err)
+		os.Exit(2)
+	}
+	first, n := *firstSeed, *seeds
+	if *oneSeed >= 0 {
+		first, n = *oneSeed, 1
+	}
+
+	ctx := context.Background()
+	rep := report{Seeds: n, FirstSeed: first}
+	sweeps, err := leakcheck.Sweep(ctx, cfgs, first, n, *workers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "leakcheck:", err)
+		os.Exit(2)
+	}
+	for _, sw := range sweeps {
+		rs := sweepReport{Config: sw.Config.String(), Seeds: sw.Seeds}
+		if v := sw.Verdict(); v != "" {
+			rs.Verdict = v
+			rep.Failures = append(rep.Failures, v)
+		}
+		for _, sl := range sw.Leaks {
+			lr := leakReport{Seed: sl.Seed, Components: sl.Leak.Components, Params: sl.Leak.Params.String()}
+			if *minimize {
+				min, err := leakcheck.Minimize(ctx, sl.Leak)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "leakcheck:", err)
+					os.Exit(2)
+				}
+				lr.Minimized = min.String()
+			}
+			if *oneSeed >= 0 {
+				lr.Disassembly = sl.Leak.Params.Disassemble()
+			}
+			rs.Leaks = append(rs.Leaks, lr)
+		}
+		rep.Sweeps = append(rep.Sweeps, rs)
+	}
+
+	if *mutations {
+		outcomes, err := leakcheck.MutationGauntlet(ctx, first, *mutSeeds)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "leakcheck:", err)
+			os.Exit(2)
+		}
+		for _, o := range outcomes {
+			mr := mutationReport{Mutation: o.Mutation.String(), Config: o.Config.String(),
+				Detected: o.Detected, SeedsTried: o.SeedsTried}
+			if o.Detected {
+				mr.Seed = o.Seed
+				mr.Components = o.Leak.Components
+			} else {
+				f := fmt.Sprintf("BLIND: planted mutation %s under %s not detected in %d seeds",
+					o.Mutation, o.Config, o.SeedsTried)
+				rep.Failures = append(rep.Failures, f)
+			}
+			rep.Mutations = append(rep.Mutations, mr)
+		}
+	}
+	rep.OK = len(rep.Failures) == 0
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, "leakcheck:", err)
+			os.Exit(2)
+		}
+	} else {
+		printText(rep)
+	}
+	if !rep.OK {
+		os.Exit(1)
+	}
+}
+
+type report struct {
+	Seeds     int              `json:"seeds"`
+	FirstSeed int64            `json:"first_seed"`
+	Sweeps    []sweepReport    `json:"sweeps"`
+	Mutations []mutationReport `json:"mutations,omitempty"`
+	Failures  []string         `json:"failures,omitempty"`
+	OK        bool             `json:"ok"`
+}
+
+type sweepReport struct {
+	Config  string       `json:"config"`
+	Seeds   int          `json:"seeds"`
+	Leaks   []leakReport `json:"leaks,omitempty"`
+	Verdict string       `json:"verdict,omitempty"`
+}
+
+type leakReport struct {
+	Seed        int64    `json:"seed"`
+	Components  []string `json:"components"`
+	Params      string   `json:"params"`
+	Minimized   string   `json:"minimized,omitempty"`
+	Disassembly string   `json:"disassembly,omitempty"`
+}
+
+type mutationReport struct {
+	Mutation   string   `json:"mutation"`
+	Config     string   `json:"config"`
+	Detected   bool     `json:"detected"`
+	Seed       int64    `json:"seed,omitempty"`
+	SeedsTried int      `json:"seeds_tried"`
+	Components []string `json:"components,omitempty"`
+}
+
+func parseConfigs(schemes, apMode string) ([]leakcheck.Config, error) {
+	var aps []bool
+	switch apMode {
+	case "both":
+		aps = []bool{false, true}
+	case "off":
+		aps = []bool{false}
+	case "on":
+		aps = []bool{true}
+	default:
+		return nil, fmt.Errorf("invalid -ap %q (want on, off or both)", apMode)
+	}
+	var cfgs []leakcheck.Config
+	for _, name := range strings.Split(schemes, ",") {
+		s, err := secure.ParseScheme(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		for _, ap := range aps {
+			cfgs = append(cfgs, leakcheck.Config{Scheme: s, AP: ap})
+		}
+	}
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("no schemes selected")
+	}
+	return cfgs, nil
+}
+
+func printText(rep report) {
+	fmt.Printf("leakcheck: %d seeds from %d\n", rep.Seeds, rep.FirstSeed)
+	for _, sw := range rep.Sweeps {
+		status := "clean"
+		if len(sw.Leaks) > 0 {
+			status = fmt.Sprintf("%d/%d seeds leak", len(sw.Leaks), sw.Seeds)
+		}
+		fmt.Printf("  %-14s %s\n", sw.Config, status)
+		for i, l := range sw.Leaks {
+			if i >= 5 && sw.Verdict == "" {
+				fmt.Printf("    ... %d more\n", len(sw.Leaks)-i)
+				break
+			}
+			fmt.Printf("    seed %-6d via %s\n", l.Seed, strings.Join(l.Components, ","))
+			if l.Minimized != "" {
+				fmt.Printf("      minimized: %s\n", l.Minimized)
+			}
+			if l.Disassembly != "" {
+				fmt.Println(indent(l.Disassembly, "      "))
+			}
+		}
+	}
+	if len(rep.Mutations) > 0 {
+		fmt.Println("mutation gauntlet:")
+		for _, m := range rep.Mutations {
+			if m.Detected {
+				fmt.Printf("  %-16s caught under %-22s at seed %d via %s\n",
+					m.Mutation, m.Config, m.Seed, strings.Join(m.Components, ","))
+			} else {
+				fmt.Printf("  %-16s NOT CAUGHT under %s (%d seeds)\n", m.Mutation, m.Config, m.SeedsTried)
+			}
+		}
+	}
+	if rep.OK {
+		fmt.Println("ok: secure schemes silent, unsafe baseline divergent, all mutations caught")
+		return
+	}
+	for _, f := range rep.Failures {
+		fmt.Println("FAIL:", f)
+	}
+}
+
+func indent(s, prefix string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i := range lines {
+		lines[i] = prefix + lines[i]
+	}
+	return strings.Join(lines, "\n")
+}

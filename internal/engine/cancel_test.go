@@ -1,0 +1,76 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"doppelganger/sim"
+)
+
+// TestCancellationMidRunDoesNotPoisonCache cancels a job while the worker
+// is actively simulating it, then resubmits the identical job (same cache
+// key) with a live context. The cancelled attempt must surface
+// context.Canceled, must not be recorded as a completed job, and — the
+// point — must not leave anything in the result cache: the resubmission
+// has to simulate fresh and succeed, after which a third submission is a
+// genuine cache hit.
+func TestCancellationMidRunDoesNotPoisonCache(t *testing.T) {
+	e := New(Options{Workers: 1})
+	defer e.Close()
+
+	// A spin loop bounded by instruction count: long enough to still be
+	// mid-run when we cancel (tens of stepChunk slices), short enough
+	// that the fresh rerun finishes quickly.
+	job := Job{Program: spinProgram(t), Config: sim.Config{MaxInsts: 2_000_000}}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := e.Submit(ctx, job)
+		errc <- err
+	}()
+	time.Sleep(30 * time.Millisecond) // let the worker start simulating
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled submit error = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled submission did not return")
+	}
+	if st := e.Stats(); st.JobsRun != 0 {
+		t.Fatalf("JobsRun = %d after cancellation, want 0", st.JobsRun)
+	}
+
+	// Identical job, live context: must miss the cache and succeed.
+	res, err := e.Submit(context.Background(), job)
+	if err != nil {
+		t.Fatalf("resubmit after cancellation failed: %v", err)
+	}
+	if res.Insts < job.Config.MaxInsts {
+		t.Fatalf("resubmit committed %d instructions, want >= %d", res.Insts, job.Config.MaxInsts)
+	}
+	st := e.Stats()
+	if st.JobsRun != 1 {
+		t.Fatalf("JobsRun = %d after resubmit, want 1", st.JobsRun)
+	}
+	if st.CacheHits != 0 {
+		t.Fatalf("CacheHits = %d, want 0 — the cancelled attempt must not populate the cache", st.CacheHits)
+	}
+
+	// Now the success is cached: a third submission is a pure hit.
+	res2, err := e.Submit(context.Background(), job)
+	if err != nil {
+		t.Fatalf("cached submit failed: %v", err)
+	}
+	if res2.Checksum != res.Checksum {
+		t.Fatal("cached result differs from the fresh run")
+	}
+	st = e.Stats()
+	if st.CacheHits != 1 || st.JobsRun != 1 {
+		t.Fatalf("after cached submit: CacheHits = %d, JobsRun = %d, want 1 and 1", st.CacheHits, st.JobsRun)
+	}
+}

@@ -165,7 +165,15 @@ func (e *Engine) Submit(ctx context.Context, job Job) (sim.Result, error) {
 	if t, ok := e.inflight[key]; ok {
 		e.mu.Unlock()
 		e.ctr.coalesced.Add(1)
-		return e.wait(ctx, t)
+		res, err := e.wait(ctx, t)
+		if err != nil && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			// The joined task died of its owner's context, not ours. Its
+			// failure is not this submission's answer (and is never
+			// cached), so run the job properly under the live context.
+			return e.Submit(ctx, job)
+		}
+		return res, err
 	}
 	t := &task{job: job, key: key, ctx: ctx, done: make(chan struct{})}
 	e.inflight[key] = t

@@ -1,0 +1,457 @@
+// Package leakcheck is a differential side-channel tester for the secure
+// speculation schemes. It generates randomized transient-execution gadgets
+// on top of internal/program's builder, runs each gadget twice with only
+// the secret bytes differing, and diffs the attacker-observable
+// micro-architectural state (sim.MicroDigest): cache tag/LRU contents at
+// every level, the MSHR occupancy timeline, predictor tables, traffic
+// counters and cycle counts. Any divergence is a leak.
+//
+// The oracle is the standard hardware-software-contract formulation: under
+// a secure scheme, executions that differ only in secret data must be
+// indistinguishable to a co-resident attacker. The unsafe baseline must
+// diverge (otherwise the oracle is vacuous), and the planted mutations of
+// secure.Mutation must each be caught (otherwise the oracle is blind).
+package leakcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"doppelganger/internal/isa"
+	"doppelganger/internal/program"
+)
+
+// Kind selects the gadget family.
+type Kind uint8
+
+// Gadget kinds.
+const (
+	// KindBoundsCheck is a Spectre-v1 shape: a bounds check whose bound
+	// loads from a cold cache line mispredicts on the final round, and the
+	// wrong path loads the secret and transmits it through a
+	// secret-indexed probe-array load.
+	KindBoundsCheck Kind = iota
+	// KindStoreBypass is a Spectre-v4 shape: a store to the secret cell
+	// whose address operand arrives late is speculatively bypassed by a
+	// younger load, which reads the stale secret and transmits it before
+	// the memory-order violation squash.
+	KindStoreBypass
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KindBoundsCheck: "bounds-check",
+	KindStoreBypass: "store-bypass",
+}
+
+// String returns the kind's short name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Gadget parameter bounds. Rounds needs a floor so the branch predictor has
+// time to train toward the architectural direction before the final-round
+// mispredict.
+const (
+	minRounds      = 6
+	maxRounds      = 24
+	maxShadowDepth = 3
+	maxChainLen    = 6
+	maxTrainLoops  = 2
+
+	// minSecret keeps secrets above every probe index reachable from
+	// public execution, so the wrong-path probe line is guaranteed cold
+	// and distinct from every committed or prefetched line in both runs.
+	// The transmission chain is affine mod 256, so the publicly
+	// reachable probe indices are exactly f({0..7} + prefetch reach);
+	// with PrefetchDistance 12 and degree 2 that is f({0..21}).
+	// Without this margin a secret could alias a publicly warmed line
+	// and mask — or, under DoM's hit/miss asymmetry, falsely time — the
+	// transmission.
+	minSecret = 24
+)
+
+// Gadget memory layout (byte addresses). Regions are far apart so the only
+// cache lines two runs can disagree on are the secret-indexed probe lines.
+const (
+	idxTableBase = 0x10_000 // per-round index sequence (bounds-check kind)
+	arrBase      = 0x20_000 // victim array; the secret sits past its end
+	probeBase    = 0x40_000 // 256-line transmission array
+	probe2Base   = 0x48_000 // second transmission array (DoubleTransmit)
+	guardBase    = 0x60_000 // cold lines producing late-arriving operands
+	trainBase    = 0x80_000 // committed streaming loads (predictor warm-up)
+	cellBase     = 0xA0_000 // secret cell (store-bypass kind)
+	ptabBase     = 0xC0_000 // per-round pointers into the guard region
+
+	lineSize   = 64
+	secretWord = 64 // word offset of the secret past arrBase (line-disjoint)
+	boundValue = 8  // architectural bound: in-bounds indices are 0..7
+	pubValue   = 77 // public value the bypassed store writes
+)
+
+// Register allocation. The builder panics on out-of-range registers, so
+// these stay well inside isa.NumRegs.
+const (
+	rAcc    = isa.Reg(1)  // committed accumulator (keeps loads live)
+	rPIdx   = isa.Reg(2)  // index-table cursor
+	rPEnd   = isa.Reg(3)  // index-table end
+	rPGuard = isa.Reg(4)  // guard-region cursor
+	rIdx    = isa.Reg(5)  // current index / round counter
+	rBound  = isa.Reg(6)  // late-arriving bound
+	rT      = isa.Reg(7)  // address temporary
+	rX      = isa.Reg(8)  // transmitted value
+	rY      = isa.Reg(9)  // probe result
+	rZ      = isa.Reg(10) // second-channel temporary
+	rPtr    = isa.Reg(11) // train-loop cursor
+	rCnt    = isa.Reg(12) // train-loop counter
+	rLim    = isa.Reg(13) // train-loop limit
+	rTmp    = isa.Reg(14) // victim warm-up scratch
+	rPCell  = isa.Reg(15) // secret-cell pointer (store-bypass)
+	rPub    = isa.Reg(16) // public store value (store-bypass)
+	rSBase  = isa.Reg(17) // late-resolving store base (store-bypass)
+	rPTab   = isa.Reg(18) // guard-pointer-table cursor
+	rGB     = isa.Reg(19) // this round's guard base (loaded from the table)
+)
+
+// Params fully determines a gadget program (together with the secret byte
+// passed to Build). All fields are derived deterministically from Seed by
+// Generate, but the fuzzer mutates them directly, so Build accepts any
+// combination after Normalize.
+type Params struct {
+	Seed int64
+	Kind Kind
+	// Rounds is the number of trips through the access loop. In the
+	// bounds-check kind all but the last are in-bounds training rounds.
+	Rounds int
+	// ShadowDepth adds extra speculation shadows around the transmission:
+	// nested bounds checks whose bounds load from cold lines.
+	ShadowDepth int
+	// ChainLen inserts extra ALU operations between the secret load and
+	// the transmitting access. Operations are restricted to bijections
+	// mod 256 (AddI, MulI by an odd constant) so distinct secrets always
+	// transmit through distinct probe lines.
+	ChainLen int
+	// TrainLoops prepends committed streaming loops that warm the stride
+	// predictor/prefetcher table with public patterns.
+	TrainLoops int
+	// DoubleTransmit adds a second secret-dependent load into a disjoint
+	// probe array.
+	DoubleTransmit bool
+	// SecretA and SecretB are the two secret bytes; the differential pair
+	// is (Build(SecretA), Build(SecretB)).
+	SecretA, SecretB uint8
+}
+
+// Generate derives the gadget parameters for a seed. The same seed always
+// yields the same Params, so a leak report is reproducible from its seed
+// alone.
+func Generate(seed int64) Params {
+	r := rand.New(rand.NewSource(seed))
+	p := Params{
+		Seed:           seed,
+		Kind:           Kind(r.Intn(int(numKinds))),
+		Rounds:         minRounds + r.Intn(maxRounds-minRounds+1),
+		ShadowDepth:    r.Intn(maxShadowDepth + 1),
+		ChainLen:       r.Intn(maxChainLen + 1),
+		TrainLoops:     r.Intn(maxTrainLoops + 1),
+		DoubleTransmit: r.Intn(2) == 1,
+	}
+	p.SecretA = uint8(minSecret + r.Intn(256-minSecret))
+	p.SecretB = uint8(minSecret + r.Intn(256-minSecret-1))
+	if p.SecretB >= p.SecretA {
+		p.SecretB++
+	}
+	return p
+}
+
+// Normalize clamps the parameters into the ranges Build supports and
+// forces the secrets into [minSecret, 255] with SecretA != SecretB. The
+// fuzzer feeds arbitrary field values through this.
+func (p Params) Normalize() Params {
+	p.Kind %= numKinds
+	p.Rounds = clamp(p.Rounds, minRounds, maxRounds)
+	p.ShadowDepth = clamp(p.ShadowDepth, 0, maxShadowDepth)
+	p.ChainLen = clamp(p.ChainLen, 0, maxChainLen)
+	p.TrainLoops = clamp(p.TrainLoops, 0, maxTrainLoops)
+	if p.SecretA < minSecret {
+		p.SecretA += minSecret
+	}
+	if p.SecretB < minSecret {
+		p.SecretB += minSecret
+	}
+	if p.SecretA == p.SecretB {
+		// Flipping bit 0 preserves >= minSecret and guarantees distinctness.
+		p.SecretB = p.SecretA ^ 1
+	}
+	return p
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// String renders the parameters compactly for leak reports.
+func (p Params) String() string {
+	return fmt.Sprintf("seed=%d kind=%s rounds=%d depth=%d chain=%d train=%d double=%t secrets=0x%02x/0x%02x",
+		p.Seed, p.Kind, p.Rounds, p.ShadowDepth, p.ChainLen, p.TrainLoops,
+		p.DoubleTransmit, p.SecretA, p.SecretB)
+}
+
+// chainOp is one ALU step of the transmission chain. Both forms are
+// bijective mod 256 (k is odd when mul), so composed chains keep distinct
+// secrets on distinct probe lines.
+type chainOp struct {
+	mul bool
+	k   int64
+}
+
+// chainOps derives the chain from the seed. The stream depends only on
+// Seed, so a shorter ChainLen is a strict prefix — minimization can shrink
+// the chain without changing the surviving steps.
+func (p Params) chainOps() []chainOp {
+	r := rand.New(rand.NewSource(p.Seed ^ 0x5bf0_3635))
+	ops := make([]chainOp, 0, p.ChainLen)
+	for i := 0; i < p.ChainLen; i++ {
+		if r.Intn(2) == 0 {
+			ops = append(ops, chainOp{mul: false, k: int64(1 + r.Intn(255))})
+		} else {
+			ops = append(ops, chainOp{mul: true, k: int64(1 + 2*r.Intn(128))})
+		}
+	}
+	return ops
+}
+
+// initGuardTable lays out the guard region and the per-round pointer table.
+// Each round owns ShadowDepth+1 consecutive guard lines, but rounds visit
+// the region in a seed-derived pseudorandom order read through the pointer
+// table. The indirection matters: a linear walk has a constant stride, so
+// the commit-trained prefetcher would warm future guard lines and collapse
+// the speculation window the gadget needs. The table itself is
+// stride-prefetchable — its contents are not.
+//
+// Guard line d of round i holds boundVal[d]; the returned per-round base
+// addresses are what the table holds.
+func (p Params) initGuardTable(b *program.Builder, boundVal func(d int) int64) {
+	perRound := uint64(p.ShadowDepth+1) * lineSize
+	order := rand.New(rand.NewSource(p.Seed ^ 0x7f4a_7c15)).Perm(p.Rounds)
+	for i := 0; i < p.Rounds; i++ {
+		base := guardBase + uint64(order[i])*perRound
+		b.InitMem(ptabBase+uint64(i)*program.WordSize, int64(base))
+		for d := 0; d <= p.ShadowDepth; d++ {
+			b.InitMem(base+uint64(d)*lineSize, boundVal(d))
+		}
+	}
+}
+
+// Build constructs the gadget program with the given secret byte planted.
+// Two builds of the same Params differ only in the one initial-memory word
+// holding the secret — everything an attacker may legitimately observe is
+// identical by construction.
+func (p Params) Build(secret uint8) *program.Program {
+	p = p.Normalize()
+	switch p.Kind {
+	case KindStoreBypass:
+		return p.buildStoreBypass(secret)
+	default:
+		return p.buildBoundsCheck(secret)
+	}
+}
+
+// emitTrainLoops prepends committed streaming loops over public data,
+// giving the stride predictor/prefetcher table confident public entries
+// before the gadget body runs.
+func (p Params) emitTrainLoops(b *program.Builder) {
+	for l := 0; l < p.TrainLoops; l++ {
+		base := uint64(trainBase + l*0x1000)
+		for i := 0; i < 16; i++ {
+			b.InitMem(base+uint64(i)*program.WordSize, int64(i+1))
+		}
+		b.LoadI(rPtr, int64(base))
+		b.LoadI(rCnt, 0)
+		b.LoadI(rLim, 16)
+		loop := b.Here()
+		b.Load(rT, rPtr, 0)
+		b.AddI(rPtr, rPtr, program.WordSize)
+		b.AddI(rCnt, rCnt, 1)
+		b.Blt(rCnt, rLim, loop)
+	}
+}
+
+// emitTransmit lowers the chain and the probe access(es): rX holds the
+// value to transmit; after the chain it indexes the probe array at line
+// granularity. On the committed path rX is always public.
+func (p Params) emitTransmit(b *program.Builder) {
+	for _, op := range p.chainOps() {
+		if op.mul {
+			b.MulI(rX, rX, op.k)
+		} else {
+			b.AddI(rX, rX, op.k)
+		}
+	}
+	b.AndI(rX, rX, 255)
+	b.ShlI(rT, rX, 6)
+	b.AddI(rT, rT, probeBase)
+	b.Load(rY, rT, 0)
+	b.Add(rAcc, rAcc, rY)
+	if p.DoubleTransmit {
+		// A second, independently mixed channel: x*3+11 is bijective mod
+		// 256, so the probe2 line is also distinct across distinct secrets.
+		b.MulI(rZ, rX, 3)
+		b.AddI(rZ, rZ, 11)
+		b.AndI(rZ, rZ, 255)
+		b.ShlI(rZ, rZ, 6)
+		b.AddI(rZ, rZ, probe2Base)
+		b.Load(rZ, rZ, 0)
+		b.Add(rAcc, rAcc, rZ)
+	}
+}
+
+// buildBoundsCheck emits the Spectre-v1 shape. The index table holds
+// in-bounds values for every round but the last, whose entry points at the
+// secret word past the array's end. Each round's bound loads from a fresh
+// cold guard line, holding the bounds checks unresolved while the wrong
+// path runs.
+func (p Params) buildBoundsCheck(secret uint8) *program.Program {
+	b := program.NewBuilder(fmt.Sprintf("leakcheck/%s/seed%d", p.Kind, p.Seed))
+
+	// In-bounds indices are seed-random, not cyclic: a repeating ramp
+	// would give the committed probe accesses a near-constant stride for
+	// the prefetcher to extend.
+	idxr := rand.New(rand.NewSource(p.Seed ^ 0x2545_f491))
+	for i := 0; i < p.Rounds; i++ {
+		v := int64(idxr.Intn(boundValue))
+		if i == p.Rounds-1 {
+			v = secretWord
+		}
+		b.InitMem(idxTableBase+uint64(i)*program.WordSize, v)
+	}
+	p.initGuardTable(b, func(int) int64 { return boundValue })
+	for i := 0; i < boundValue; i++ {
+		b.InitMem(arrBase+uint64(i)*program.WordSize, int64(i))
+	}
+	b.InitMem(arrBase+secretWord*program.WordSize, int64(secret))
+
+	// Victim phase: the victim touches its own secret architecturally,
+	// leaving the line warm so the wrong-path load hits the L1 and the
+	// transmission races ahead of the late bounds check.
+	b.LoadI(rTmp, arrBase)
+	b.Load(rTmp, rTmp, secretWord*program.WordSize)
+
+	p.emitTrainLoops(b)
+
+	b.LoadI(rAcc, 0)
+	b.LoadI(rPIdx, idxTableBase)
+	b.LoadI(rPEnd, idxTableBase+int64(p.Rounds)*program.WordSize)
+	b.LoadI(rPTab, ptabBase)
+	loop := b.NewLabel()
+	skip := b.NewLabel()
+	b.Bind(loop)
+	b.Load(rIdx, rPIdx, 0)
+	b.Load(rGB, rPTab, 0)
+	// The in-bounds direction is TAKEN (Blt to the access), matching the
+	// bimodal counters' weakly-taken reset state. With the inverse sense
+	// the first rounds would all mispredict toward skip and the wrong
+	// path would stream ahead through the remaining rounds, transiently
+	// warming every guard line and collapsing the speculation window the
+	// final round needs.
+	for d := 0; d <= p.ShadowDepth; d++ {
+		next := b.NewLabel()
+		b.Load(rBound, rGB, int64(d)*lineSize)
+		b.Blt(rIdx, rBound, next)
+		b.Jmp(skip)
+		b.Bind(next)
+	}
+	b.ShlI(rT, rIdx, 3)
+	b.AddI(rT, rT, arrBase)
+	b.Load(rX, rT, 0)
+	p.emitTransmit(b)
+	b.Bind(skip)
+	b.AddI(rPIdx, rPIdx, program.WordSize)
+	b.AddI(rPTab, rPTab, program.WordSize)
+	b.Blt(rPIdx, rPEnd, loop)
+	b.Store(rAcc, rPEnd, 0)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// buildStoreBypass emits the Spectre-v4 shape. Each round stores a public
+// value to the secret cell through a base register that arrives from a
+// cold guard line, so the store's address resolves late; the younger load
+// of the cell issues first and reads the stale value — the secret on round
+// one — and transmits it before the violation squash. ShadowDepth adds
+// never-taken bounds checks with cold bounds, deepening the shadow without
+// changing the architectural path.
+func (p Params) buildStoreBypass(secret uint8) *program.Program {
+	b := program.NewBuilder(fmt.Sprintf("leakcheck/%s/seed%d", p.Kind, p.Seed))
+
+	// Guard line 0 of each round holds the store's base address (the
+	// secret cell); the remaining lines hold never-exceeded bounds.
+	p.initGuardTable(b, func(d int) int64 {
+		if d == 0 {
+			return cellBase
+		}
+		return 1 << 40
+	})
+	b.InitMem(cellBase, int64(secret))
+
+	// Victim phase: warm the cell line so the bypassing load is an L1 hit
+	// (and thus propagates even under Delay-on-Miss).
+	b.LoadI(rPCell, cellBase)
+	b.Load(rTmp, rPCell, 0)
+
+	p.emitTrainLoops(b)
+
+	b.LoadI(rAcc, 0)
+	b.LoadI(rPub, pubValue)
+	b.LoadI(rPTab, ptabBase)
+	b.LoadI(rCnt, 0)
+	b.LoadI(rLim, int64(p.Rounds))
+	loop := b.NewLabel()
+	skip := b.NewLabel()
+	b.Bind(loop)
+	b.Load(rGB, rPTab, 0)
+	// Never-exceeded bounds, checked in the taken sense so the reset-state
+	// predictor is correct from round one (see buildBoundsCheck).
+	for d := 1; d <= p.ShadowDepth; d++ {
+		next := b.NewLabel()
+		b.Load(rBound, rGB, int64(d)*lineSize)
+		b.Blt(rCnt, rBound, next)
+		b.Jmp(skip)
+		b.Bind(next)
+	}
+	b.Load(rSBase, rGB, 0)
+	b.Store(rPub, rSBase, 0)
+	b.Load(rX, rPCell, 0)
+	p.emitTransmit(b)
+	b.Bind(skip)
+	b.AddI(rPTab, rPTab, program.WordSize)
+	b.AddI(rCnt, rCnt, 1)
+	b.Blt(rCnt, rLim, loop)
+	b.Store(rAcc, rPCell, program.WordSize)
+	b.Halt()
+	return b.MustBuild()
+}
+
+// Disassemble renders the gadget (built with SecretA) as annotated
+// assembly, for leak reports and reproducers.
+func (p Params) Disassemble() string {
+	p = p.Normalize()
+	prog := p.Build(p.SecretA)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "; %s\n", p)
+	for pc, in := range prog.Code {
+		fmt.Fprintf(&sb, "%4d: %s\n", pc, in.String())
+	}
+	return sb.String()
+}

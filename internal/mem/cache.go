@@ -238,6 +238,66 @@ func (c *Cache) TotalMisses() uint64 {
 	return t
 }
 
+// Fingerprint digests the attacker-observable contents of the cache at
+// cycle now: for every resident line, its set, tag, dirty bit, LRU rank
+// within the set, and whether its fill is still in flight. This is exactly
+// the state a prime+probe/flush+reload attacker can reconstruct — presence,
+// eviction order, and write-back behaviour — so two runs with equal
+// fingerprints are indistinguishable through this cache. Raw recency
+// timestamps are deliberately reduced to ranks: absolute access counts are
+// already captured by the access statistics.
+func (c *Cache) Fingerprint(now uint64) uint64 {
+	const prime = 1099511628211
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	for si, set := range c.sets {
+		for wi := range set {
+			l := &set[wi]
+			if !l.valid {
+				continue
+			}
+			rank := 0
+			for wj := range set {
+				if set[wj].valid && set[wj].lastUse < l.lastUse {
+					rank++
+				}
+			}
+			mix(uint64(si))
+			mix(l.tag)
+			mix(uint64(rank))
+			var bits uint64
+			if l.dirty {
+				bits |= 1
+			}
+			if l.readyAt > now {
+				bits |= 2
+			}
+			mix(bits)
+		}
+	}
+	return h
+}
+
+// StatsFingerprint digests the per-class access counters — the traffic an
+// attacker sharing the cache can observe through contention.
+func (c *Cache) StatsFingerprint() uint64 {
+	const prime = 1099511628211
+	h := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime
+	}
+	for cl := 0; cl < int(numClasses); cl++ {
+		mix(c.Accesses[cl])
+		mix(c.Hits[cl])
+		mix(c.Misses[cl])
+	}
+	return h
+}
+
 // ResetStats zeroes the statistics counters without disturbing contents,
 // so warmup traffic can be excluded from measurement.
 func (c *Cache) ResetStats() {

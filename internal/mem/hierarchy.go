@@ -139,6 +139,13 @@ type Hierarchy struct {
 	// RejectedMSHR counts requests turned away by a full MSHR file.
 	RejectedMSHR uint64
 
+	// mshrSig is a running digest of the MSHR allocation timeline: every
+	// allocation folds in (cycle, line, completion, prefetch). Equal
+	// digests mean the two runs' miss-handling occupancy was identical at
+	// every cycle, since expiry is a deterministic function of the
+	// allocations. See MSHRTimeline.
+	mshrSig uint64
+
 	// met holds optional live registry instruments; nil when no metrics
 	// registry is attached (the default, and the zero-overhead path).
 	met *hierMetrics
@@ -348,6 +355,7 @@ func (h *Hierarchy) Access(now, addr uint64, class Class, opts AccessOptions) Ac
 	}
 	if !opts.NoMSHR {
 		h.mshrs = append(h.mshrs, mshr{lineAddr: la, doneAt: fillAt, prefetch: opts.Prefetch})
+		h.noteMSHR(now, la, fillAt, opts.Prefetch)
 	}
 	h.countAccess(level)
 	return AccessResult{Latency: latency, Level: level}
@@ -369,6 +377,57 @@ func (h *Hierarchy) writebackInto(next *Cache, addr, fillAt uint64, level int) {
 		}
 	}
 	next.MarkDirty(addr)
+}
+
+// noteMSHR folds one MSHR allocation into the timeline digest.
+func (h *Hierarchy) noteMSHR(now, lineAddr, doneAt uint64, prefetch bool) {
+	const prime = 1099511628211
+	sig := h.mshrSig
+	if sig == 0 {
+		sig = 1469598103934665603
+	}
+	mix := func(v uint64) {
+		sig ^= v
+		sig *= prime
+	}
+	mix(now)
+	mix(lineAddr)
+	mix(doneAt)
+	if prefetch {
+		mix(1)
+	} else {
+		mix(2)
+	}
+	h.mshrSig = sig
+}
+
+// MSHRTimeline returns the MSHR allocation-timeline digest: a fingerprint
+// of when every miss was allocated, which line it covered, and when its
+// fill completed. An attacker co-resident on the core can observe MSHR
+// occupancy through rejection back-pressure, so two runs must agree on this
+// digest to be indistinguishable.
+func (h *Hierarchy) MSHRTimeline() uint64 { return h.mshrSig }
+
+// TrafficFingerprint digests the contention-observable traffic counters of
+// the whole memory system: per-class access/hit/miss counts at every level,
+// DRAM reads and writes, write-back traffic, and MSHR rejections.
+func (h *Hierarchy) TrafficFingerprint() uint64 {
+	const prime = 1099511628211
+	sig := uint64(1469598103934665603)
+	mix := func(v uint64) {
+		sig ^= v
+		sig *= prime
+	}
+	mix(h.L1D.StatsFingerprint())
+	mix(h.L2.StatsFingerprint())
+	mix(h.L3.StatsFingerprint())
+	mix(h.DRAMAccesses)
+	mix(h.DRAMWrites)
+	for _, w := range h.Writebacks {
+		mix(w)
+	}
+	mix(h.RejectedMSHR)
+	return sig
 }
 
 // TouchL1 applies a delayed replacement update for a DoM speculative hit

@@ -5,6 +5,7 @@ import (
 	"io"
 	"os"
 	"strconv"
+	"sync/atomic"
 )
 
 // TraceSink receives trace events. Implementations need not be safe for
@@ -114,12 +115,14 @@ func (s *RingSink) Dropped() uint64 { return s.dropped }
 func (s *RingSink) Len() int { return len(s.events) }
 
 // CountingSink counts events per kind, optionally forwarding to a next
-// sink. A nil next makes it a pure counter. Safe for single-writer use;
-// counts may be read after the run completes.
+// sink. A nil next makes it a pure counter. The counters are atomic, so a
+// CountingSink may be shared across concurrently emitting runs (the
+// forwarding target must then be concurrency-safe too); counts may also be
+// read while runs are still emitting.
 type CountingSink struct {
 	next   TraceSink
-	counts [NumKinds]uint64
-	total  uint64
+	counts [NumKinds]atomic.Uint64
+	total  atomic.Uint64
 }
 
 // NewCountingSink builds a counting sink forwarding to next (nil = none).
@@ -130,9 +133,9 @@ func NewCountingSink(next TraceSink) *CountingSink {
 // Emit counts the event and forwards it.
 func (s *CountingSink) Emit(e Event) {
 	if int(e.Kind) < NumKinds {
-		s.counts[e.Kind]++
+		s.counts[e.Kind].Add(1)
 	}
-	s.total++
+	s.total.Add(1)
 	if s.next != nil {
 		s.next.Emit(e)
 	}
@@ -143,11 +146,11 @@ func (s *CountingSink) Count(k Kind) uint64 {
 	if int(k) >= NumKinds {
 		return 0
 	}
-	return s.counts[k]
+	return s.counts[k].Load()
 }
 
 // Total returns the number of events seen across all kinds.
-func (s *CountingSink) Total() uint64 { return s.total }
+func (s *CountingSink) Total() uint64 { return s.total.Load() }
 
 // FilterSink forwards only events matching a kind set and an optional cycle
 // window. The zero Kinds set passes every kind; the window is inclusive and

@@ -69,6 +69,11 @@ type Config struct {
 	// consistency, queue cross-links, shadow-tracker agreement). Slow;
 	// meant for tests and debugging.
 	SelfCheck bool
+	// Mutation plants a deliberate weakening of the active scheme's
+	// delay/taint logic, so the leakage checker can prove it detects
+	// broken protections. Must stay MutNone outside leakcheck's mutation
+	// mode and tests.
+	Mutation secure.Mutation
 	// PrefetchDegree is how many consecutive stride targets the prefetcher
 	// issues per triggering access (0 disables prefetching). The
 	// prefetcher and address predictor share one table, trained only at
@@ -179,6 +184,9 @@ func (c Config) Validate() error {
 	}
 	if !c.Scheme.Valid() {
 		return fmt.Errorf("pipeline: invalid scheme %d", uint8(c.Scheme))
+	}
+	if !c.Mutation.Valid() {
+		return fmt.Errorf("pipeline: invalid mutation %d", uint8(c.Mutation))
 	}
 	if c.ALULatency == 0 || c.AGULatency == 0 {
 		return fmt.Errorf("pipeline: ALU/AGU latencies must be at least 1 cycle")

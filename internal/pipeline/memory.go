@@ -159,6 +159,16 @@ func (c *Core) loadQueuePass() {
 				c.shadows.Resolve(u.seq)
 				c.noteShadowClose(u)
 			}
+			if c.cfg.Mutation.TrainsSpeculatively() {
+				// Planted weakening (leakcheck mutation mode): train the
+				// address predictor the moment the address resolves —
+				// speculatively, including wrong-path loads — instead of
+				// only at commit.
+				c.stride.Train(u.pc, e.addr)
+				if c.ctx != nil {
+					c.ctx.Train(u.pc, e.addr)
+				}
+			}
 		}
 		if e.pendingStoreSeq != 0 {
 			c.tryPendingStoreData(e)
@@ -276,7 +286,7 @@ func (c *Core) loadQueuePass() {
 			u.result = e.value
 			u.executed = true
 			u.propagated = true
-			if c.cfg.Scheme.TracksTaint() {
+			if c.cfg.Scheme.TracksTaint() && !c.cfg.Mutation.DisablesTaint() {
 				c.taints.SetRoot(u.dst, u.seq)
 			}
 		}
@@ -315,6 +325,9 @@ func (c *Core) canIssueLoad(e *lqEntry) bool {
 		}
 		return true
 	case c.cfg.Scheme == secure.DoM:
+		if c.cfg.Mutation.DisablesDelayOnMiss() {
+			return true
+		}
 		// A delayed miss retries, and a mispredicted doppelganger
 		// reissues, only once the load is non-speculative (§5.3).
 		if e.delayedMiss || e.mispredicted {
@@ -351,7 +364,8 @@ func (c *Core) issueRealLoad(e *lqEntry, ports *int) {
 		return
 	}
 	opts := mem.AccessOptions{
-		DoMSpeculative: c.cfg.Scheme == secure.DoM && c.speculative(e.u.seq),
+		DoMSpeculative: c.cfg.Scheme == secure.DoM && c.speculative(e.u.seq) &&
+			!c.cfg.Mutation.DisablesDelayOnMiss(),
 	}
 	res := c.hier.Access(c.cycle, e.addr, mem.ClassDemand, opts)
 	if res.Rejected {
@@ -487,6 +501,10 @@ func (c *Core) youngestOlderStore(seq, addr uint64) *sqEntry {
 // is present.
 func (c *Core) canPropagateLoad(e *lqEntry) bool {
 	switch {
+	case c.cfg.Scheme.DelaysPropagation() && c.cfg.Mutation.DisablesPropagationDelay():
+		// Planted weakening (leakcheck mutation mode): NDA's propagation
+		// delay is gone, values release as on the unsafe baseline.
+		return true
 	case c.cfg.Scheme == secure.NDAS:
 		// Strict propagation: only the oldest in-flight instruction may
 		// release a loaded value.

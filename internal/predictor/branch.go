@@ -63,6 +63,19 @@ func (b *Bimodal) Train(pc uint64, taken bool) {
 	}
 }
 
+// Snapshot fingerprints the counter table, for the leakage tests that prove
+// committed-only training keeps the predictor free of secret-dependent
+// state.
+func (b *Bimodal) Snapshot() uint64 {
+	const prime = 1099511628211
+	h := uint64(1469598103934665603)
+	for i, c := range b.counters {
+		h ^= uint64(i)<<8 | uint64(c)
+		h *= prime
+	}
+	return h
+}
+
 // StaticTaken always predicts taken; useful in tests to force deterministic
 // misprediction patterns.
 type StaticTaken struct{}

@@ -73,3 +73,16 @@ func (g *GShare) TrainWithHistory(pc, hist uint64, taken bool) {
 
 // HistoryMask exposes the history length for the core's shift register.
 func (g *GShare) HistoryMask() uint64 { return g.histMask }
+
+// Snapshot fingerprints the counter table, for the leakage tests that prove
+// committed-only training keeps the predictor free of secret-dependent
+// state.
+func (g *GShare) Snapshot() uint64 {
+	const prime = 1099511628211
+	h := uint64(1469598103934665603)
+	for i, c := range g.counters {
+		h ^= uint64(i)<<8 | uint64(c)
+		h *= prime
+	}
+	return h
+}

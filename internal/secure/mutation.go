@@ -1,0 +1,101 @@
+package secure
+
+import "fmt"
+
+// Mutation deliberately weakens one scheme's delay/taint logic. Mutations
+// exist solely so the differential leakage checker (internal/leakcheck) can
+// prove its oracle has teeth: a planted weakening must be reported as a
+// leak. They must never be enabled outside tests and the leakcheck
+// mutation mode.
+type Mutation uint8
+
+// The planted weakenings, one per protection mechanism.
+const (
+	// MutNone leaves the scheme intact.
+	MutNone Mutation = iota
+	// MutNDAFreeProp breaks NDA's propagation delay: speculatively loaded
+	// values reach dependents immediately, as on the unsafe baseline.
+	MutNDAFreeProp
+	// MutSTTNoTaint breaks STT's taint sourcing: loads no longer taint
+	// their outputs, so every transmitter sees untainted operands.
+	MutSTTNoTaint
+	// MutDoMIssueMiss breaks Delay-on-Miss: speculative loads that miss in
+	// the L1 are performed as ordinary accesses instead of being delayed.
+	MutDoMIssueMiss
+	// MutSpecTrain breaks the doppelganger security anchor: the address
+	// predictor is trained at address resolution (speculatively, including
+	// wrong-path loads) instead of only at commit.
+	MutSpecTrain
+
+	numMutations
+)
+
+var mutationNames = [numMutations]string{
+	MutNone:         "none",
+	MutNDAFreeProp:  "nda-free-prop",
+	MutSTTNoTaint:   "stt-no-taint",
+	MutDoMIssueMiss: "dom-issue-miss",
+	MutSpecTrain:    "spec-train",
+}
+
+// String returns the mutation's short name.
+func (m Mutation) String() string {
+	if int(m) < len(mutationNames) {
+		return mutationNames[m]
+	}
+	return fmt.Sprintf("mutation(%d)", uint8(m))
+}
+
+// Valid reports whether the mutation is defined.
+func (m Mutation) Valid() bool { return m < numMutations }
+
+// ParseMutation maps a name (as produced by String) back to a Mutation.
+func ParseMutation(name string) (Mutation, error) {
+	for i, n := range mutationNames {
+		if n == name {
+			return Mutation(i), nil
+		}
+	}
+	return 0, fmt.Errorf("secure: unknown mutation %q", name)
+}
+
+// Mutations lists the planted weakenings (excluding MutNone).
+func Mutations() []Mutation {
+	return []Mutation{MutNDAFreeProp, MutSTTNoTaint, MutDoMIssueMiss, MutSpecTrain}
+}
+
+// DisablesPropagationDelay reports whether NDA's propagation delay is
+// disabled.
+func (m Mutation) DisablesPropagationDelay() bool { return m == MutNDAFreeProp }
+
+// DisablesTaint reports whether STT's load-output tainting is disabled.
+func (m Mutation) DisablesTaint() bool { return m == MutSTTNoTaint }
+
+// DisablesDelayOnMiss reports whether DoM's miss delay is disabled.
+func (m Mutation) DisablesDelayOnMiss() bool { return m == MutDoMIssueMiss }
+
+// TrainsSpeculatively reports whether the address predictor is trained on
+// speculative (pre-commit, possibly wrong-path) addresses.
+func (m Mutation) TrainsSpeculatively() bool { return m == MutSpecTrain }
+
+// Target returns the scheme configuration the mutation is designed to
+// weaken: the scheme whose protection it removes, and whether address
+// prediction must be enabled for the weakening to be reachable.
+func (m Mutation) Target() (s Scheme, needAP bool) {
+	switch m {
+	case MutNDAFreeProp:
+		return NDAP, false
+	case MutSTTNoTaint:
+		return STT, false
+	case MutDoMIssueMiss:
+		return DoM, false
+	case MutSpecTrain:
+		// Speculative training only matters when the poisoned table is
+		// consulted, i.e. with doppelganger loads enabled; DoM is the
+		// scheme that lets a speculatively loaded value compute the
+		// wrong-path address that poisons the table (L1-hit propagation).
+		return DoM, true
+	default:
+		return Unsafe, false
+	}
+}

@@ -1,26 +1,46 @@
 #!/bin/sh
-# End-to-end smoke test for the doppeld service: boot it on a free port,
-# execute one run through the HTTP API, then assert the /metrics endpoint
-# exposes simulator metric families. Used by `make smoke` and CI.
+# End-to-end smoke test for the doppeld service: boot it on a kernel-chosen
+# free port, execute one run through the HTTP API, then assert the /metrics
+# endpoint exposes simulator metric families. Used by `make smoke` and CI.
 set -eu
 
-PORT="${SMOKE_PORT:-18080}"
-ADDR="127.0.0.1:${PORT}"
+# :0 lets the kernel pick a free port; the bound address is parsed from the
+# server's "listening on" log line. SMOKE_ADDR overrides for debugging.
+REQ_ADDR="${SMOKE_ADDR:-127.0.0.1:0}"
 BIN="$(mktemp -d)/doppeld"
 LOG="$(mktemp)"
 
 go build -o "$BIN" ./cmd/doppeld
 
-"$BIN" -addr "$ADDR" >"$LOG" 2>&1 &
+"$BIN" -addr "$REQ_ADDR" >"$LOG" 2>&1 &
 PID=$!
-trap 'kill "$PID" 2>/dev/null || true' EXIT
+trap 'kill "$PID" 2>/dev/null || true; wait "$PID" 2>/dev/null || true' EXIT
 
-# Wait for the server to come up.
+# Wait for the server to log its bound address, then for it to be healthy.
+ADDR=""
+i=0
+while [ -z "$ADDR" ]; do
+    ADDR=$(sed -n 's/.*doppeld: listening on \([0-9.:]*\).*/\1/p' "$LOG" | head -1)
+    [ -n "$ADDR" ] && break
+    if ! kill -0 "$PID" 2>/dev/null; then
+        echo "smoke: doppeld exited before binding" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    if [ "$i" -ge 50 ]; then
+        echo "smoke: doppeld never logged its address" >&2
+        cat "$LOG" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
 i=0
 until curl -sf "http://${ADDR}/healthz" >/dev/null 2>&1; do
     i=$((i + 1))
     if [ "$i" -ge 50 ]; then
-        echo "smoke: doppeld did not become healthy" >&2
+        echo "smoke: doppeld did not become healthy on ${ADDR}" >&2
         cat "$LOG" >&2
         exit 1
     fi
@@ -46,4 +66,4 @@ for family in sim_cycles_total sim_cache_hits_total sim_shadow_lifetime_cycles e
     }
 done
 
-echo "smoke: ok (traced run + $(echo "$METRICS" | grep -c '^[a-z]') metric lines)"
+echo "smoke: ok on ${ADDR} (traced run + $(echo "$METRICS" | grep -c '^[a-z]') metric lines)"

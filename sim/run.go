@@ -21,6 +21,7 @@ type runOpts struct {
 	winFrom   uint64
 	winTo     uint64
 	maxCycles uint64
+	digest    *MicroDigest
 }
 
 // WithTracer attaches a trace sink: the core emits typed obs.Events for
@@ -52,6 +53,21 @@ func WithTraceWindow(from, to uint64) RunOption {
 // Config.MaxCycles).
 func WithMaxCycles(n uint64) RunOption {
 	return func(o *runOpts) { o.maxCycles = n }
+}
+
+// MicroDigest fingerprints the attacker-observable micro-architectural
+// state of a finished run: cycle count, cache tag/LRU contents at every
+// level, the MSHR occupancy timeline, traffic counters, and predictor
+// tables. It is the oracle of the differential leakage checker — see
+// internal/leakcheck and WithMicroArchDigest.
+type MicroDigest = pipeline.MicroDigest
+
+// WithMicroArchDigest fills *d with the run's final micro-architectural
+// digest. Two runs of programs differing only in secret data must produce
+// equal digests under a secure speculation scheme; any component that
+// differs names a side channel through which the secret escaped.
+func WithMicroArchDigest(d *MicroDigest) RunOption {
+	return func(o *runOpts) { o.digest = d }
 }
 
 // stepChunk is how many cycles RunContext simulates between context
@@ -94,6 +110,9 @@ func RunContext(ctx context.Context, p *Program, cfg Config, opts ...RunOption) 
 		return Result{}, fmt.Errorf("sim: %q under %v: %w", p.Name, cfg.Scheme, err)
 	}
 	res := Summarize(p, cfg, c)
+	if o.digest != nil {
+		*o.digest = c.MicroDigest()
+	}
 	if o.metrics != nil {
 		RecordMetrics(o.metrics, res)
 	}
