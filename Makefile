@@ -5,6 +5,10 @@ STATICCHECK ?= staticcheck
 COVER_MIN ?= 70.0
 # Benchmark-regression gate: geomean slowdown beyond this ratio fails.
 BENCH_THRESHOLD ?= 1.10
+# Allocation gate: any gated benchmark whose allocs/op grows beyond this
+# ratio of its baseline fails (allocs are near-deterministic, so this is
+# tight).
+ALLOC_THRESHOLD ?= 1.10
 
 .PHONY: build test vet race staticcheck check cover fmt figures smoke \
 	bench benchcheck benchbaseline leakcheck
@@ -45,16 +49,18 @@ cover:
 
 # Benchmark-regression gate for the simulator hot path. Compares the gated
 # benchmarks (./sim, median of 6 counts) against the committed
-# BENCH_baseline.json and fails on a >10% geomean slowdown. Absolute ns/op
-# is machine-dependent: after an intentional perf change, or when moving the
+# BENCH_baseline.json and fails on a >10% geomean slowdown or on any gated
+# benchmark's allocs/op growing past ALLOC_THRESHOLD. Absolute ns/op is
+# machine-dependent: after an intentional perf change, or when moving the
 # reference machine, refresh the baseline with `make benchbaseline` and
 # commit the resulting BENCH_baseline.json alongside the change.
 benchcheck:
-	$(GO) test -run '^$$' -bench . -count=6 ./sim | \
-		$(GO) run ./cmd/benchcheck -baseline BENCH_baseline.json -threshold $(BENCH_THRESHOLD)
+	$(GO) test -run '^$$' -bench . -benchmem -count=6 ./sim | \
+		$(GO) run ./cmd/benchcheck -baseline BENCH_baseline.json \
+			-threshold $(BENCH_THRESHOLD) -alloc-threshold $(ALLOC_THRESHOLD)
 
 benchbaseline:
-	$(GO) test -run '^$$' -bench . -count=6 ./sim | \
+	$(GO) test -run '^$$' -bench . -benchmem -count=6 ./sim | \
 		$(GO) run ./cmd/benchcheck -write BENCH_baseline.json
 
 # Full benchmark sweep (paper figures included); informational, not a gate.

@@ -2,15 +2,19 @@
 // spirit of benchstat: it parses `go test -bench` text, reduces repeated
 // counts to per-benchmark medians, and either writes a JSON baseline or
 // compares against one, failing when the geometric-mean slowdown across the
-// gated benchmarks exceeds a threshold.
+// gated benchmarks exceeds a threshold. When the bench output carries
+// -benchmem columns, allocations per op are gated too: any gated benchmark
+// whose median allocs/op grows past its own threshold fails the check, so
+// an accidentally re-introduced hot-loop allocation is caught even when it
+// is too cheap to move ns/op.
 //
 // Write a baseline (commit the output as BENCH_baseline.json):
 //
-//	go test -run '^$' -bench . -count=6 ./sim | benchcheck -write BENCH_baseline.json
+//	go test -run '^$' -bench . -benchmem -count=6 ./sim | benchcheck -write BENCH_baseline.json
 //
 // Gate a change against it:
 //
-//	go test -run '^$' -bench . -count=6 ./sim | benchcheck -baseline BENCH_baseline.json
+//	go test -run '^$' -bench . -benchmem -count=6 ./sim | benchcheck -baseline BENCH_baseline.json
 //
 // Medians of several counts damp scheduler noise; the geomean (rather than
 // any single benchmark) damps it further. Benchmarks present on only one
@@ -22,6 +26,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"regexp"
@@ -30,27 +35,48 @@ import (
 	"strings"
 )
 
-// Baseline is the committed reference: median ns/op per benchmark, with the
-// machine context that produced it recorded for humans reading diffs.
+// Baseline is the committed reference: median ns/op (and, when recorded
+// with -benchmem, median allocs/op) per benchmark, with the machine context
+// that produced it recorded for humans reading diffs.
 type Baseline struct {
 	// Note is free-form provenance (host CPU line from the bench output).
 	Note string `json:"note,omitempty"`
 	// NsPerOp maps benchmark name (GOMAXPROCS suffix stripped) to the
 	// median ns/op across counts.
 	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// AllocsPerOp maps benchmark name to the median allocs/op. Absent for
+	// baselines recorded without -benchmem; such benchmarks are not
+	// alloc-gated.
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
 }
 
 // benchLine matches e.g.
 //
 //	BenchmarkRunUntraced-8   	       9	 127850275 ns/op	11328728 B/op	     246 allocs/op
-var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op`)
+//
+// The B/op and allocs/op columns only appear under -benchmem.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(?:\s+[0-9.]+ B/op\s+([0-9]+) allocs/op)?`)
+
+// samples accumulates the repeated-count measurements of one benchmark.
+type samples struct {
+	ns     []float64
+	allocs []float64 // empty when the run lacked -benchmem
+}
+
+// medians is one benchmark's noise-damped result.
+type medians struct {
+	ns     float64
+	allocs float64
+	hasMem bool
+}
 
 func main() {
 	var (
-		write     = flag.String("write", "", "write a baseline JSON to this path instead of comparing")
-		baseline  = flag.String("baseline", "", "baseline JSON to compare the piped bench output against")
-		threshold = flag.Float64("threshold", 1.10, "fail when geomean(new/old) exceeds this ratio")
-		filter    = flag.String("filter", "", "regexp restricting which benchmarks participate in the gate")
+		write          = flag.String("write", "", "write a baseline JSON to this path instead of comparing")
+		baseline       = flag.String("baseline", "", "baseline JSON to compare the piped bench output against")
+		threshold      = flag.Float64("threshold", 1.10, "fail when geomean(new/old) ns/op exceeds this ratio")
+		allocThreshold = flag.Float64("alloc-threshold", 1.10, "fail when any gated benchmark's allocs/op exceeds this ratio of its baseline")
+		filter         = flag.String("filter", "", "regexp restricting which benchmarks participate in the gate")
 	)
 	flag.Parse()
 	if (*write == "") == (*baseline == "") {
@@ -58,32 +84,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	samples, note, err := parse(os.Stdin)
+	parsed, note, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 		os.Exit(2)
 	}
-	if len(samples) == 0 {
+	if len(parsed) == 0 {
 		fmt.Fprintln(os.Stderr, "benchcheck: no benchmark lines on stdin (pipe `go test -bench` output)")
 		os.Exit(2)
 	}
-	medians := make(map[string]float64, len(samples))
-	for name, s := range samples {
-		medians[name] = median(s)
-	}
+	meds := reduce(parsed)
 
 	if *write != "" {
-		b := Baseline{Note: note, NsPerOp: medians}
-		data, err := json.MarshalIndent(b, "", "  ")
-		if err != nil {
+		if err := writeBaseline(*write, note, meds); err != nil {
 			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
 			os.Exit(2)
 		}
-		if err := os.WriteFile(*write, append(data, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
-			os.Exit(2)
-		}
-		fmt.Printf("benchcheck: wrote %d benchmark medians to %s\n", len(medians), *write)
+		fmt.Printf("benchcheck: wrote %d benchmark medians to %s\n", len(meds), *write)
 		return
 	}
 
@@ -105,58 +122,128 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	os.Exit(compare(os.Stdout, os.Stderr, base, meds, keep, *threshold, *allocThreshold))
+}
 
-	names := make([]string, 0, len(medians))
-	for name := range medians {
+// writeBaseline marshals the medians as a baseline file. Alloc medians are
+// only recorded when every parsed benchmark carried them (a mixed run would
+// otherwise silently un-gate the missing ones forever).
+func writeBaseline(path, note string, meds map[string]medians) error {
+	b := Baseline{Note: note, NsPerOp: make(map[string]float64, len(meds))}
+	allMem := true
+	for _, m := range meds {
+		if !m.hasMem {
+			allMem = false
+			break
+		}
+	}
+	if allMem {
+		b.AllocsPerOp = make(map[string]float64, len(meds))
+	}
+	for name, m := range meds {
+		b.NsPerOp[name] = m.ns
+		if allMem {
+			b.AllocsPerOp[name] = m.allocs
+		}
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// compare prints the per-benchmark table and verdicts and returns the
+// process exit code: 0 ok, 1 regression, 2 nothing to gate.
+//
+// Benchmarks on only one side are reported but never gated: an added
+// benchmark has no baseline to regress against, and a removed one has no
+// measurement. The ns/op verdict is the geomean ratio across gated
+// benchmarks against threshold; the allocs/op verdict is per-benchmark
+// (allocation counts are near-deterministic, so one benchmark's regression
+// must not hide in a geomean).
+func compare(out, errw io.Writer, base Baseline, meds map[string]medians, keep *regexp.Regexp, threshold, allocThreshold float64) int {
+	names := make([]string, 0, len(meds))
+	for name := range meds {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
 	var logSum float64
 	var gated int
+	var allocFailures []string
 	for _, name := range names {
-		now := medians[name]
+		now := meds[name]
 		old, ok := base.NsPerOp[name]
 		if !ok {
-			fmt.Printf("%-40s %12.0f ns/op  (no baseline, ignored)\n", name, now)
+			fmt.Fprintf(out, "%-40s %12.0f ns/op  (no baseline, ignored)\n", name, now.ns)
 			continue
 		}
-		ratio := now / old
+		ratio := now.ns / old
 		mark := ""
-		if keep == nil || keep.MatchString(name) {
+		isGated := keep == nil || keep.MatchString(name)
+		if isGated {
 			logSum += math.Log(ratio)
 			gated++
 		} else {
 			mark = "  (not gated)"
 		}
-		fmt.Printf("%-40s %12.0f -> %12.0f ns/op  %+6.1f%%%s\n",
-			name, old, now, (ratio-1)*100, mark)
+		fmt.Fprintf(out, "%-40s %12.0f -> %12.0f ns/op  %+6.1f%%%s\n",
+			name, old, now.ns, (ratio-1)*100, mark)
+		oldAllocs, haveOld := base.AllocsPerOp[name]
+		if !haveOld || !now.hasMem {
+			continue
+		}
+		fmt.Fprintf(out, "%-40s %12.0f -> %12.0f allocs/op%s\n",
+			name, oldAllocs, now.allocs, mark)
+		if isGated && allocRegressed(oldAllocs, now.allocs, allocThreshold) {
+			allocFailures = append(allocFailures, fmt.Sprintf(
+				"%s: allocs/op %.0f -> %.0f exceeds threshold %.2f", name, oldAllocs, now.allocs, allocThreshold))
+		}
 	}
 	for name := range base.NsPerOp {
-		if _, ok := medians[name]; !ok {
-			fmt.Printf("%-40s missing from this run (ignored)\n", name)
+		if _, ok := meds[name]; !ok {
+			fmt.Fprintf(out, "%-40s missing from this run (ignored)\n", name)
 		}
 	}
 	if gated == 0 {
-		fmt.Fprintln(os.Stderr, "benchcheck: no benchmarks in common with the baseline")
-		os.Exit(2)
+		fmt.Fprintln(errw, "benchcheck: no benchmarks in common with the baseline")
+		return 2
 	}
 	geomean := math.Exp(logSum / float64(gated))
-	fmt.Printf("geomean over %d gated benchmark(s): %+.1f%% (threshold %+.1f%%)\n",
-		gated, (geomean-1)*100, (*threshold-1)*100)
-	if geomean > *threshold {
-		fmt.Fprintf(os.Stderr, "benchcheck: FAIL: geomean slowdown %.3f exceeds %.3f\n", geomean, *threshold)
-		os.Exit(1)
+	fmt.Fprintf(out, "geomean over %d gated benchmark(s): %+.1f%% (threshold %+.1f%%)\n",
+		gated, (geomean-1)*100, (threshold-1)*100)
+	failed := false
+	if geomean > threshold {
+		fmt.Fprintf(errw, "benchcheck: FAIL: geomean slowdown %.3f exceeds %.3f\n", geomean, threshold)
+		failed = true
 	}
-	fmt.Println("benchcheck: ok")
+	for _, f := range allocFailures {
+		fmt.Fprintf(errw, "benchcheck: FAIL: %s\n", f)
+		failed = true
+	}
+	if failed {
+		return 1
+	}
+	fmt.Fprintln(out, "benchcheck: ok")
+	return 0
 }
 
-// parse collects ns/op samples per benchmark from `go test -bench` text and
+// allocRegressed reports whether now allocs/op regresses past the ratio
+// threshold of old. A zero-alloc baseline tolerates no allocations at all.
+func allocRegressed(old, now, threshold float64) bool {
+	if old == 0 {
+		return now > 0
+	}
+	return now/old > threshold
+}
+
+// parse collects per-benchmark samples from `go test -bench` text and
 // returns the cpu: line (if any) as provenance.
-func parse(f *os.File) (map[string][]float64, string, error) {
-	samples := make(map[string][]float64)
+func parse(r io.Reader) (map[string]*samples, string, error) {
+	out := make(map[string]*samples)
 	var note string
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -172,9 +259,36 @@ func parse(f *os.File) (map[string][]float64, string, error) {
 		if err != nil {
 			return nil, "", fmt.Errorf("bad ns/op in %q: %v", line, err)
 		}
-		samples[m[1]] = append(samples[m[1]], v)
+		s := out[m[1]]
+		if s == nil {
+			s = &samples{}
+			out[m[1]] = s
+		}
+		s.ns = append(s.ns, v)
+		if m[3] != "" {
+			a, err := strconv.ParseFloat(m[3], 64)
+			if err != nil {
+				return nil, "", fmt.Errorf("bad allocs/op in %q: %v", line, err)
+			}
+			s.allocs = append(s.allocs, a)
+		}
 	}
-	return samples, note, sc.Err()
+	return out, note, sc.Err()
+}
+
+// reduce folds each benchmark's samples to medians. Alloc medians are only
+// meaningful when every count carried the -benchmem columns.
+func reduce(parsed map[string]*samples) map[string]medians {
+	out := make(map[string]medians, len(parsed))
+	for name, s := range parsed {
+		m := medians{ns: median(s.ns)}
+		if len(s.allocs) == len(s.ns) && len(s.allocs) > 0 {
+			m.allocs = median(s.allocs)
+			m.hasMem = true
+		}
+		out[name] = m
+	}
+	return out
 }
 
 // median of the samples (mean of the middle two for even counts).

@@ -162,6 +162,9 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 			limit = maxTraceEvents
 		}
 		ring = sim.NewRingSink(limit)
+		// Surface ring evictions on /metrics: a truncated trace response
+		// (EventsDropped > 0) is easy to miss client-side, the counter is not.
+		ring.AttachMetrics(s.met)
 		ctx := r.Context()
 		if req.TimeoutMS > 0 {
 			var cancel context.CancelFunc

@@ -56,40 +56,35 @@ func main() {
 		return
 	}
 
+	// Validate every flag before doing any work, so a typo'd or
+	// contradictory invocation fails loudly instead of silently running
+	// something other than what was asked for (-all used to ignore -vp,
+	// -predictor and -branch entirely).
+	if *ap && *vp {
+		fail(fmt.Errorf("-ap and -vp are mutually exclusive: doppelganger loads and DoM value prediction replace each other"))
+	}
+	if *all && *vp {
+		fail(fmt.Errorf("-vp cannot be combined with -all: the comparison table contrasts doppelganger loads, not value prediction; run -scheme dom -vp instead"))
+	}
+	scheme, err := sim.ParseScheme(*schemeName)
+	if err != nil {
+		fail(fmt.Errorf("unknown scheme %q: valid schemes are %s", *schemeName, strings.Join(schemeNames(), ", ")))
+	}
+	cc, err := buildCoreConfig(*vp, *apKind, *bpKind)
+	if err != nil {
+		fail(err)
+	}
+
 	prog, err := loadProgram(*workloadName, *file, *scaleName)
 	if err != nil {
 		fail(err)
 	}
 
 	if *all {
-		runAll(prog, *maxInsts, *maxCycles, *extensions, *parallel, *jsonOut)
+		runAll(prog, &cc, *maxInsts, *maxCycles, *extensions, *parallel, *jsonOut)
 		return
 	}
 
-	scheme, err := sim.ParseScheme(*schemeName)
-	if err != nil {
-		fail(err)
-	}
-	cc := sim.DefaultCoreConfig()
-	cc.ValuePrediction = *vp
-	switch *apKind {
-	case "stride":
-		cc.AddressPredictorKind = sim.PredictorStride
-	case "context":
-		cc.AddressPredictorKind = sim.PredictorContext
-	case "hybrid":
-		cc.AddressPredictorKind = sim.PredictorHybrid
-	default:
-		fail(fmt.Errorf("unknown predictor %q", *apKind))
-	}
-	switch *bpKind {
-	case "bimodal":
-		cc.BranchPredictorKind = sim.BranchBimodal
-	case "gshare":
-		cc.BranchPredictorKind = sim.BranchGShare
-	default:
-		fail(fmt.Errorf("unknown branch predictor %q", *bpKind))
-	}
 	cfg := sim.Config{
 		Scheme:            scheme,
 		AddressPrediction: *ap,
@@ -150,6 +145,42 @@ func main() {
 	printResult(res)
 }
 
+// buildCoreConfig assembles the core configuration from the predictor
+// flags, rejecting unknown names with the valid choices spelled out.
+func buildCoreConfig(vp bool, apKind, bpKind string) (sim.CoreConfig, error) {
+	cc := sim.DefaultCoreConfig()
+	cc.ValuePrediction = vp
+	switch apKind {
+	case "stride":
+		cc.AddressPredictorKind = sim.PredictorStride
+	case "context":
+		cc.AddressPredictorKind = sim.PredictorContext
+	case "hybrid":
+		cc.AddressPredictorKind = sim.PredictorHybrid
+	default:
+		return cc, fmt.Errorf("unknown predictor %q: valid predictors are stride, context, hybrid", apKind)
+	}
+	switch bpKind {
+	case "bimodal":
+		cc.BranchPredictorKind = sim.BranchBimodal
+	case "gshare":
+		cc.BranchPredictorKind = sim.BranchGShare
+	default:
+		return cc, fmt.Errorf("unknown branch predictor %q: valid branch predictors are bimodal, gshare", bpKind)
+	}
+	return cc, nil
+}
+
+// schemeNames lists every accepted -scheme value, extensions included.
+func schemeNames() []string {
+	all := sim.AllSchemes()
+	names := make([]string, len(all))
+	for i, s := range all {
+		names[i] = s.String()
+	}
+	return names
+}
+
 // openOut resolves an output destination: "-" is stdout (with a no-op
 // closer), anything else is created as a file.
 func openOut(path string) (io.Writer, func(), error) {
@@ -206,7 +237,7 @@ func loadProgram(workloadName, file, scaleName string) (*sim.Program, error) {
 // cells execute concurrently on an engine worker pool; the comparison table
 // streams in scheme order regardless of completion order (the engine's
 // batch callbacks are ordered), so output is identical at any parallelism.
-func runAll(prog *sim.Program, maxInsts, maxCycles uint64, extensions bool, parallel int, jsonOut bool) {
+func runAll(prog *sim.Program, cc *sim.CoreConfig, maxInsts, maxCycles uint64, extensions bool, parallel int, jsonOut bool) {
 	schemes := sim.Schemes()
 	if extensions {
 		schemes = sim.AllSchemes()
@@ -217,6 +248,7 @@ func runAll(prog *sim.Program, maxInsts, maxCycles uint64, extensions bool, para
 			jobs = append(jobs, engine.Job{Program: prog, Config: sim.Config{
 				Scheme: scheme, AddressPrediction: ap,
 				MaxInsts: maxInsts, MaxCycles: maxCycles,
+				Core: cc, // shared read-only; NewCore copies it per run
 			}})
 		}
 	}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"doppelganger/internal/pipeline"
+	"doppelganger/sim"
+)
+
+func TestBuildCoreConfigValid(t *testing.T) {
+	cases := []struct {
+		apKind string
+		want   pipeline.AddressPredictorKind
+	}{
+		{"stride", sim.PredictorStride},
+		{"context", sim.PredictorContext},
+		{"hybrid", sim.PredictorHybrid},
+	}
+	for _, c := range cases {
+		cc, err := buildCoreConfig(false, c.apKind, "bimodal")
+		if err != nil {
+			t.Fatalf("buildCoreConfig(%q) failed: %v", c.apKind, err)
+		}
+		if cc.AddressPredictorKind != c.want {
+			t.Errorf("buildCoreConfig(%q).AddressPredictorKind = %v, want %v",
+				c.apKind, cc.AddressPredictorKind, c.want)
+		}
+	}
+	cc, err := buildCoreConfig(true, "stride", "gshare")
+	if err != nil {
+		t.Fatalf("buildCoreConfig(gshare) failed: %v", err)
+	}
+	if cc.BranchPredictorKind != sim.BranchGShare {
+		t.Errorf("BranchPredictorKind = %v, want gshare", cc.BranchPredictorKind)
+	}
+	if !cc.ValuePrediction {
+		t.Error("ValuePrediction not carried through")
+	}
+}
+
+func TestBuildCoreConfigRejectsUnknown(t *testing.T) {
+	if _, err := buildCoreConfig(false, "nope", "bimodal"); err == nil {
+		t.Error("unknown predictor accepted")
+	} else if !strings.Contains(err.Error(), "stride, context, hybrid") {
+		t.Errorf("predictor error should list valid choices, got %q", err)
+	}
+	if _, err := buildCoreConfig(false, "stride", "nope"); err == nil {
+		t.Error("unknown branch predictor accepted")
+	} else if !strings.Contains(err.Error(), "bimodal, gshare") {
+		t.Errorf("branch error should list valid choices, got %q", err)
+	}
+}
+
+func TestSchemeNamesListsExtensions(t *testing.T) {
+	names := schemeNames()
+	for _, want := range []string{"unsafe", "nda-p", "stt", "dom", "nda-s", "stt-spectre"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("schemeNames() = %v, missing %q", names, want)
+		}
+	}
+}

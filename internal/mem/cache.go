@@ -163,6 +163,25 @@ func (c *Cache) Access(addr uint64, now uint64, class Class, updateLRU bool) boo
 	return false
 }
 
+// countHit records a hit for a line already located via find, optionally
+// refreshing its recency. Together with countMiss it is the counting half
+// of Access, for callers that probe once and branch on the outcome
+// themselves instead of paying a second set walk.
+func (c *Cache) countHit(l *line, class Class, updateLRU bool) {
+	c.Accesses[class]++
+	if updateLRU {
+		c.clock++
+		l.lastUse = c.clock
+	}
+	c.Hits[class]++
+}
+
+// countMiss records a miss for callers that already probed with find.
+func (c *Cache) countMiss(class Class) {
+	c.Accesses[class]++
+	c.Misses[class]++
+}
+
 // Insert fills the line with the given fill-completion time, evicting the
 // LRU way if the set is full. It returns the evicted line address and
 // whether the eviction was of a dirty line (a writeback). Re-inserting a

@@ -129,6 +129,10 @@ type Hierarchy struct {
 	L3  *Cache
 
 	mshrs []mshr
+	// nextExpire caches the earliest doneAt among live MSHRs (^uint64(0)
+	// when none), so the per-access expiry sweep is skipped until a fill
+	// actually completes instead of walking the file on every request.
+	nextExpire uint64
 
 	// DRAMAccesses counts requests that reached main memory.
 	DRAMAccesses uint64
@@ -152,17 +156,22 @@ type Hierarchy struct {
 }
 
 // hierMetrics caches direct instrument pointers so the Access hot path
-// never performs a registry lookup.
+// never performs a registry lookup. Counts accumulate in plain local
+// accumulators and fold into the shared counters on FlushMetrics, so the
+// hot path performs no atomic operations either.
 type hierMetrics struct {
 	hits   [4]*obs.Counter // satisfied at L1/L2/L3/mem
 	misses [3]*obs.Counter // missed at L1/L2/L3
+	hitN   [4]uint64       // pending (unflushed) hit counts
+	missN  [3]uint64       // pending (unflushed) miss counts
 }
 
 // SetMetrics attaches a metrics registry: every subsequent access counts
 // into sim_cache_hits_total / sim_cache_misses_total by level. Pass nil to
-// detach.
+// detach (pending batched counts are flushed first).
 func (h *Hierarchy) SetMetrics(m *obs.Metrics) {
 	if m == nil {
+		h.FlushMetrics()
 		h.met = nil
 		return
 	}
@@ -184,9 +193,30 @@ func (h *Hierarchy) countAccess(level Level) {
 	if hm == nil {
 		return
 	}
-	hm.hits[level].Inc()
-	for l := LevelL1; l < level && int(l) < len(hm.misses); l++ {
-		hm.misses[l].Inc()
+	hm.hitN[level]++
+	for l := LevelL1; l < level && int(l) < len(hm.missN); l++ {
+		hm.missN[l]++
+	}
+}
+
+// FlushMetrics folds the locally accumulated hit/miss counts into the
+// registry counters. The core does this on every Run exit.
+func (h *Hierarchy) FlushMetrics() {
+	hm := h.met
+	if hm == nil {
+		return
+	}
+	for i, n := range hm.hitN {
+		if n != 0 {
+			hm.hits[i].Add(n)
+			hm.hitN[i] = 0
+		}
+	}
+	for i, n := range hm.missN {
+		if n != 0 {
+			hm.misses[i].Add(n)
+			hm.missN[i] = 0
+		}
 	}
 }
 
@@ -200,21 +230,35 @@ func NewHierarchy(cfg HierarchyConfig) *Hierarchy {
 		L1D: NewCache(cfg.L1D),
 		L2:  NewCache(cfg.L2),
 		L3:  NewCache(cfg.L3),
+		// Room for the demand MSHRs plus a cushion of prefetch fills
+		// (which do not count against the limit).
+		mshrs:      make([]mshr, 0, cfg.L1MSHRs+16),
+		nextExpire: ^uint64(0),
 	}
 }
 
 // Config returns the hierarchy configuration.
 func (h *Hierarchy) Config() HierarchyConfig { return h.cfg }
 
-// expire releases MSHRs whose fills have completed by cycle now.
+// expire releases MSHRs whose fills have completed by cycle now. The sweep
+// only runs once the earliest outstanding fill is actually due, so the
+// common hit-stream case costs a single comparison.
 func (h *Hierarchy) expire(now uint64) {
+	if now < h.nextExpire {
+		return
+	}
 	live := h.mshrs[:0]
+	next := ^uint64(0)
 	for _, m := range h.mshrs {
 		if m.doneAt > now {
 			live = append(live, m)
+			if m.doneAt < next {
+				next = m.doneAt
+			}
 		}
 	}
 	h.mshrs = live
+	h.nextExpire = next
 }
 
 // findMSHR returns the in-flight miss covering the line, if any.
@@ -274,28 +318,33 @@ func (h *Hierarchy) Access(now, addr uint64, class Class, opts AccessOptions) Ac
 	la := LineAddr(addr)
 	h.expire(now)
 
+	// One L1 probe serves every decision below: the old flow re-walked the
+	// set up to three times (Contains, Present, Access) per request.
+	l1 := h.L1D.find(la)
+	usable := l1 != nil && l1.readyAt <= now
+
 	if opts.DoMSpeculative {
 		// Probe only: on miss nothing anywhere may change (that is the
 		// entire DoM guarantee), on hit the replacement update is delayed.
-		if h.L1D.Contains(la, now) {
-			h.L1D.Access(la, now, class, false)
+		if usable {
+			h.L1D.countHit(l1, class, false)
 			h.countAccess(LevelL1)
 			return AccessResult{Latency: h.cfg.L1D.Latency, Level: LevelL1}
 		}
 		return AccessResult{DelayedMiss: true}
 	}
 
-	if opts.Prefetch && h.L1D.Present(la) {
+	if opts.Prefetch && l1 != nil {
 		// The line is resident or already being filled: drop the prefetch.
 		return AccessResult{Rejected: true}
 	}
 
 	// Decide miss handling before counting anything, so rejected requests
 	// leave no trace in the access statistics.
-	if !h.L1D.Contains(la, now) {
+	if !usable {
 		if m, ok := h.findMSHR(la); ok {
 			// Merge with the in-flight fill.
-			h.L1D.Access(la, now, class, false)
+			h.L1D.countMiss(class)
 			lat := m.doneAt - now
 			if lat < h.cfg.L1D.Latency {
 				lat = h.cfg.L1D.Latency
@@ -309,13 +358,15 @@ func (h *Hierarchy) Access(now, addr uint64, class Class, opts AccessOptions) Ac
 		}
 	}
 
-	if h.L1D.Access(la, now, class, true) {
+	if usable {
+		h.L1D.countHit(l1, class, true)
 		if opts.Write {
-			h.L1D.MarkDirty(la)
+			l1.dirty = true
 		}
 		h.countAccess(LevelL1)
 		return AccessResult{Latency: h.cfg.L1D.Latency, Level: LevelL1}
 	}
+	h.L1D.countMiss(class)
 
 	latency := h.cfg.L1D.Latency
 	level := LevelMem
@@ -355,6 +406,9 @@ func (h *Hierarchy) Access(now, addr uint64, class Class, opts AccessOptions) Ac
 	}
 	if !opts.NoMSHR {
 		h.mshrs = append(h.mshrs, mshr{lineAddr: la, doneAt: fillAt, prefetch: opts.Prefetch})
+		if fillAt < h.nextExpire {
+			h.nextExpire = fillAt
+		}
 		h.noteMSHR(now, la, fillAt, opts.Prefetch)
 	}
 	h.countAccess(level)

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// A batched histogram must be observationally identical to direct atomic
+// observation once flushed.
+func TestHistogramBatchEquivalence(t *testing.T) {
+	direct := NewMetrics()
+	batched := NewMetrics()
+	buckets := []uint64{1, 10, 100}
+	hd := direct.Histogram("h", "help", buckets)
+	hb := batched.Histogram("h", "help", buckets)
+	b := hb.Batch()
+	values := []uint64{0, 1, 2, 9, 10, 11, 100, 101, 1 << 40}
+	for _, v := range values {
+		hd.Observe(v)
+		b.Observe(v)
+	}
+
+	var before strings.Builder
+	batched.WritePrometheus(&before)
+	if strings.Contains(before.String(), `le="1"} 2`) {
+		t.Fatal("batched observations reached the histogram before Flush")
+	}
+	b.Flush()
+	b.Flush() // idempotent: an empty batch folds nothing
+
+	var want, got strings.Builder
+	direct.WritePrometheus(&want)
+	batched.WritePrometheus(&got)
+	if want.String() != got.String() {
+		t.Errorf("batched exposition differs from direct:\n--- direct\n%s--- batched\n%s",
+			want.String(), got.String())
+	}
+}
+
+// EmitBatch on a CountingSink must count exactly like per-event Emit and
+// forward batches onward when the next sink supports them.
+func TestCountingSinkEmitBatch(t *testing.T) {
+	events := []Event{
+		{Kind: KindLoadIssue}, {Kind: KindLoadIssue}, {Kind: KindShadowOpen},
+		{Kind: KindCacheAccess}, {Kind: KindLoadIssue},
+	}
+	ring := NewRingSink(3)
+	s := NewCountingSink(ring)
+	s.EmitBatch(events)
+	if got := s.Count(KindLoadIssue); got != 3 {
+		t.Errorf("Count(LoadIssue) = %d, want 3", got)
+	}
+	if got := s.Total(); got != uint64(len(events)) {
+		t.Errorf("Total() = %d, want %d", got, len(events))
+	}
+	if ring.Len() != 3 || ring.Dropped() != 2 {
+		t.Errorf("forwarded ring: len=%d dropped=%d, want 3 retained 2 dropped",
+			ring.Len(), ring.Dropped())
+	}
+}
+
+// The ring's eviction count must surface through an attached metrics
+// registry as obs_trace_ring_dropped_events_total.
+func TestRingSinkDroppedCounterMetrics(t *testing.T) {
+	m := NewMetrics()
+	s := NewRingSink(2)
+	s.Emit(Event{Seq: 1}) // pre-attachment: fills, no drop
+	s.Emit(Event{Seq: 2})
+	s.Emit(Event{Seq: 3}) // pre-attachment drop, folded in by AttachMetrics
+
+	s.AttachMetrics(m)
+	c := m.Counter("obs_trace_ring_dropped_events_total",
+		"Trace events evicted from a bounded ring sink to make room for newer ones.")
+	if got := c.Value(); got != 1 {
+		t.Fatalf("counter after attach = %d, want the 1 pre-attachment drop folded in", got)
+	}
+
+	s.EmitBatch([]Event{{Seq: 4}, {Seq: 5}, {Seq: 6}})
+	if got, want := c.Value(), s.Dropped(); got != want {
+		t.Errorf("counter = %d, want %d (= Dropped())", got, want)
+	}
+	if got := c.Value(); got != 4 {
+		t.Errorf("counter = %d, want 4 total evictions", got)
+	}
+
+	var out strings.Builder
+	m.WritePrometheus(&out)
+	if !strings.Contains(out.String(), "obs_trace_ring_dropped_events_total 4") {
+		t.Errorf("exposition missing dropped-events counter:\n%s", out.String())
+	}
+}

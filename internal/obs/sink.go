@@ -16,6 +16,16 @@ type TraceSink interface {
 	Emit(e Event)
 }
 
+// BatchSink is an optional TraceSink extension for sinks that can absorb a
+// slice of events in one call. Emitters that buffer events internally (the
+// pipeline core) detect it and deliver batches, amortising the per-event
+// interface dispatch; the events slice is only valid for the duration of
+// the call.
+type BatchSink interface {
+	TraceSink
+	EmitBatch(events []Event)
+}
+
 // KindSet is a bit set of event kinds for filtering.
 type KindSet uint32
 
@@ -72,6 +82,9 @@ type RingSink struct {
 	next    int
 	wrapped bool
 	dropped uint64
+	// droppedC mirrors dropped into a registry counter when attached via
+	// AttachMetrics, so silent eviction becomes observable on dashboards.
+	droppedC *Counter
 }
 
 // NewRingSink builds a ring retaining up to capacity events; capacity must
@@ -93,6 +106,30 @@ func (s *RingSink) Emit(e Event) {
 	s.next = (s.next + 1) % cap(s.events)
 	s.wrapped = true
 	s.dropped++
+	if s.droppedC != nil {
+		s.droppedC.Inc()
+	}
+}
+
+// EmitBatch records a batch of events in order (implementing BatchSink).
+func (s *RingSink) EmitBatch(events []Event) {
+	for _, e := range events {
+		s.Emit(e)
+	}
+}
+
+// AttachMetrics registers the ring's eviction count with the registry as
+// obs_trace_ring_dropped_events_total: every event silently dropped to make
+// room after the attachment increments the counter. Drops that happened
+// before attachment are folded in immediately, so the counter always equals
+// Dropped() for a single attached ring.
+func (s *RingSink) AttachMetrics(m *Metrics, labels ...Label) {
+	s.droppedC = m.Counter("obs_trace_ring_dropped_events_total",
+		"Trace events evicted from a bounded ring sink to make room for newer ones.",
+		labels...)
+	if s.dropped > 0 {
+		s.droppedC.Add(s.dropped)
+	}
 }
 
 // Events returns the retained events in emission order (oldest first).
@@ -138,6 +175,33 @@ func (s *CountingSink) Emit(e Event) {
 	s.total.Add(1)
 	if s.next != nil {
 		s.next.Emit(e)
+	}
+}
+
+// EmitBatch counts a batch with one atomic add per kind present instead of
+// two per event, then forwards it (as a batch, when the next sink supports
+// that).
+func (s *CountingSink) EmitBatch(events []Event) {
+	var perKind [NumKinds]uint64
+	for i := range events {
+		if int(events[i].Kind) < NumKinds {
+			perKind[events[i].Kind]++
+		}
+	}
+	for k := range perKind {
+		if perKind[k] != 0 {
+			s.counts[k].Add(perKind[k])
+		}
+	}
+	s.total.Add(uint64(len(events)))
+	switch next := s.next.(type) {
+	case nil:
+	case BatchSink:
+		next.EmitBatch(events)
+	default:
+		for _, e := range events {
+			next.Emit(e)
+		}
 	}
 }
 

@@ -28,6 +28,8 @@ func (c *Core) commit() {
 		case isa.KindBranch:
 			if c.bpG != nil {
 				c.bpG.TrainWithHistory(u.pc, u.hist, u.actTaken)
+			} else if c.bpBim != nil {
+				c.bpBim.Train(u.pc, u.actTaken)
 			} else {
 				c.bp.Train(u.pc, u.actTaken)
 			}
@@ -98,11 +100,7 @@ func (c *Core) commitLoad(u *uop) {
 	}
 
 	c.committedPC[u.pc]++
-	if cnt := c.inflight[u.pc] - 1; cnt > 0 {
-		c.inflight[u.pc] = cnt
-	} else {
-		delete(c.inflight, u.pc)
-	}
+	c.inflight[u.pc]--
 
 	c.lqEntries[u.lqIdx] = lqEntry{}
 	c.lq.popHead()
@@ -114,7 +112,7 @@ func (c *Core) commitStore(u *uop) {
 	}
 	e := &c.sqEntries[u.sqIdx]
 
-	c.backing[e.addr] = e.data
+	c.backing.store(e.addr, e.data)
 	res := c.hier.Access(c.cycle, e.addr, mem.ClassWriteback, mem.AccessOptions{NoMSHR: true, Write: true})
 	c.Stats.CommittedStores++
 	if c.tracing {

@@ -28,7 +28,8 @@ type Core struct {
 
 	hier   *mem.Hierarchy
 	bp     predictor.BranchPredictor
-	bpG    *predictor.GShare // non-nil when BranchGShare is selected
+	bpBim  *predictor.Bimodal // non-nil when bp is the bimodal (devirtualized)
+	bpG    *predictor.GShare  // non-nil when BranchGShare is selected
 	stride *predictor.Stride
 	ctx    *predictor.Context   // non-nil for context/hybrid address prediction
 	vp     *predictor.Value     // non-nil when value prediction is enabled
@@ -65,7 +66,7 @@ type Core struct {
 	// Kept in lqEntry via pendingStoreSeq; see memory.go.
 
 	// backing is committed architectural memory.
-	backing map[uint64]int64
+	backing *memImage
 
 	fetchPC     uint64
 	fetchBuf    []fetched
@@ -78,15 +79,20 @@ type Core struct {
 	// load PC, for the predictor's address-prediction mode; committedPC
 	// counts total committed instances per PC so late predictions (value
 	// prediction fires at delayed-miss time, not dispatch) can rebase
-	// their occurrence numbers.
-	inflight    map[uint64]int
-	committedPC map[uint64]uint64
+	// their occurrence numbers. Both are indexed by PC: loads only ever
+	// dispatch from in-range PCs (out-of-range fetch reads as Nop).
+	inflight    []int32
+	committedPC []uint64
 
 	prefetchBuf []uint64
 
 	// Observability: attached trace sink (tracing caches sink != nil for the
-	// hot path), optional cycle window, and cached metric handles.
+	// hot path), optional cycle window, and cached metric handles. When the
+	// sink supports batch delivery, events accumulate in traceBuf and are
+	// handed over in chunks (and on every Run exit).
 	sink           obs.TraceSink
+	batchSink      obs.BatchSink
+	traceBuf       []obs.Event
 	tracing        bool
 	winOn          bool
 	winFrom, winTo uint64
@@ -120,11 +126,22 @@ func New(cfg Config, prog *program.Program) (*Core, error) {
 		lq:          newRing(cfg.LQSize),
 		sqEntries:   make([]sqEntry, cfg.SQSize),
 		sq:          newRing(cfg.SQSize),
-		backing:     make(map[uint64]int64, len(prog.InitMem)),
+		backing:     newMemImage(),
 		fetchPC:     prog.Entry,
-		inflight:    make(map[uint64]int),
-		committedPC: make(map[uint64]uint64),
+		inflight:    make([]int32, len(prog.Code)),
+		committedPC: make([]uint64, len(prog.Code)),
 	}
+	c.bpBim, _ = c.bp.(*predictor.Bimodal)
+	// Pre-size every structure the cycle loop appends to, so steady-state
+	// simulation never grows a slice: queue contents are bounded by the
+	// structure sizes (anything in flight occupies a ROB slot).
+	c.iq = make([]*uop, 0, cfg.IQSize)
+	c.inflightExec = make([]*uop, 0, cfg.ROBSize)
+	c.pendingResolve = make([]*uop, 0, cfg.ROBSize)
+	c.fetchBuf = make([]fetched, 0, 2*cfg.DecodeWidth)
+	c.prefetchBuf = make([]uint64, 0, cfg.PrefetchDegree)
+	c.shadows.Reserve(cfg.ROBSize)
+	c.ctrlShadows.Reserve(cfg.ROBSize)
 	if cfg.Scheme.ControlOnlyTaint() {
 		c.taints = secure.NewTaintTracker(nPhys, &c.ctrlShadows)
 	} else {
@@ -152,7 +169,7 @@ func New(cfg Config, prog *program.Program) (*Core, error) {
 		c.freeList = append(c.freeList, p)
 	}
 	for a, v := range prog.InitMem {
-		c.backing[program.AlignAddr(a)] = v
+		c.backing.store(program.AlignAddr(a), v)
 	}
 	return c, nil
 }
@@ -192,7 +209,10 @@ func (c *Core) apPredict(pc uint64, occurrence int) (uint64, bool) {
 // SetBranchPredictor replaces the branch direction predictor. It must be
 // called before Run; tests use static predictors for deterministic
 // misprediction patterns.
-func (c *Core) SetBranchPredictor(bp predictor.BranchPredictor) { c.bp = bp }
+func (c *Core) SetBranchPredictor(bp predictor.BranchPredictor) {
+	c.bp = bp
+	c.bpBim, _ = bp.(*predictor.Bimodal)
+}
 
 // Cycle returns the current cycle number.
 func (c *Core) Cycle() uint64 { return c.cycle }
@@ -205,6 +225,7 @@ func (c *Core) Halted() bool { return c.halted }
 // an error only if the cycle limit was hit without halting, which indicates
 // a deadlocked pipeline or a runaway program.
 func (c *Core) Run(maxInsts, maxCycles uint64) error {
+	defer c.flushObs()
 	for !c.halted {
 		if maxInsts > 0 && c.Stats.Committed >= maxInsts {
 			return nil
@@ -260,21 +281,18 @@ func (c *Core) ArchRegs() [isa.NumRegs]int64 {
 // here.
 func (c *Core) ArchState() *program.ArchState {
 	st := &program.ArchState{
-		Mem:    make(map[uint64]int64, len(c.backing)),
+		Mem:    c.backing.toMap(),
 		Halted: c.halted,
 		Insts:  c.Stats.Committed,
 		Loads:  c.Stats.CommittedLoads,
 		Stores: c.Stats.CommittedStores,
 	}
 	st.Regs = c.ArchRegs()
-	for a, v := range c.backing {
-		st.Mem[a] = v
-	}
 	return st
 }
 
 // ReadMem returns the committed value of the memory word at addr.
-func (c *Core) ReadMem(addr uint64) int64 { return c.backing[program.AlignAddr(addr)] }
+func (c *Core) ReadMem(addr uint64) int64 { return c.backing.load(program.AlignAddr(addr)) }
 
 // InjectInvalidation models an external coherence invalidation reaching the
 // core (§4.5): the line is removed from the caches and the load queue is
@@ -334,11 +352,7 @@ func (c *Core) squashAfter(survivorSeq, newPC, newHist uint64) {
 			}
 			c.lqEntries[u.lqIdx] = lqEntry{}
 			c.lq.popTail()
-			if n := c.inflight[u.pc] - 1; n > 0 {
-				c.inflight[u.pc] = n
-			} else {
-				delete(c.inflight, u.pc)
-			}
+			c.inflight[u.pc]--
 		}
 		if u.sqIdx >= 0 {
 			if got := c.sq.tailIdx(); got != u.sqIdx {

@@ -150,6 +150,15 @@ func (c *Core) loadQueuePass() {
 		}
 		u := e.u
 
+		// Fast path: a propagated load whose value is final has nothing
+		// left to do here — it is only waiting in the queue for commit.
+		// (A final value implies the address resolved and any pending
+		// store forwarding completed; invalidation marks only matter
+		// before propagation.)
+		if u.propagated && e.valueValid && e.pendingStoreSeq == 0 {
+			continue
+		}
+
 		if e.addrPending && c.cycle >= e.addrValidAt {
 			e.addrPending = false
 			e.addrValid = true
@@ -381,7 +390,7 @@ func (c *Core) issueRealLoad(e *lqEntry, ports *int) {
 	e.delayedMiss = false
 	e.valueAt = c.cycle + res.Latency
 	e.level = res.Level
-	e.value = c.backing[e.addr]
+	e.value = c.backing.load(e.addr)
 	if c.met != nil {
 		c.met.loadLatency.Observe(res.Latency)
 	}
@@ -435,7 +444,7 @@ func (c *Core) issueDoppelganger(e *lqEntry, ports *int) {
 		}
 		return
 	}
-	e.preValue = c.backing[e.predAddr]
+	e.preValue = c.backing.load(e.predAddr)
 }
 
 // firePrefetches runs the shared table in prefetching mode: the resolved

@@ -28,6 +28,8 @@ func (c *Core) fetch() {
 					bit = 1
 				}
 				c.fetchHist = ((c.fetchHist << 1) | bit) & c.bpG.HistoryMask()
+			} else if c.bpBim != nil {
+				f.predTaken = c.bpBim.Predict(c.fetchPC)
 			} else {
 				f.predTaken = c.bp.Predict(c.fetchPC)
 			}
@@ -136,7 +138,7 @@ func (c *Core) dispatch() {
 			if n := uint64(c.inflight[u.pc]); n > c.Stats.MaxInflightPerPC {
 				c.Stats.MaxInflightPerPC = n
 			}
-			e.occ = c.inflight[u.pc]
+			e.occ = int(c.inflight[u.pc])
 			e.commitBase = c.committedPC[u.pc]
 			if c.cfg.AddressPrediction {
 				if addr, ok := c.apPredict(u.pc, e.occ); ok {

@@ -9,9 +9,31 @@ import "doppelganger/internal/obs"
 
 // SetTraceSink attaches a trace sink; pass nil to detach. Must be called
 // before Run (the core is single-use and not safe for concurrent use).
+// Sinks implementing obs.BatchSink receive events in buffered batches;
+// buffered events are delivered at every Run exit (see FlushTrace).
 func (c *Core) SetTraceSink(s obs.TraceSink) {
+	c.FlushTrace()
 	c.sink = s
 	c.tracing = s != nil
+	c.batchSink, _ = s.(obs.BatchSink)
+	if c.batchSink != nil && c.traceBuf == nil {
+		c.traceBuf = make([]obs.Event, 0, traceBatchSize)
+	}
+}
+
+// traceBatchSize is how many events accumulate before a batched sink gets a
+// delivery.
+const traceBatchSize = 256
+
+// FlushTrace delivers buffered trace events to the sink. Run flushes on
+// every exit, so a sink read after a completed run always holds the full
+// trace; call this directly only when inspecting the sink between manual
+// Steps.
+func (c *Core) FlushTrace() {
+	if len(c.traceBuf) > 0 {
+		c.batchSink.EmitBatch(c.traceBuf)
+		c.traceBuf = c.traceBuf[:0]
+	}
 }
 
 // SetCycleWindow restricts event emission to cycles in [from, to]
@@ -52,6 +74,13 @@ func (c *Core) emit(e obs.Event) {
 		return
 	}
 	e.Cycle = c.cycle
+	if c.batchSink != nil {
+		c.traceBuf = append(c.traceBuf, e)
+		if len(c.traceBuf) == cap(c.traceBuf) {
+			c.FlushTrace()
+		}
+		return
+	}
 	c.sink.Emit(e)
 }
 
@@ -76,22 +105,26 @@ func (c *Core) noteShadowClose(u *uop) {
 	}
 }
 
-// coreMetrics caches direct histogram pointers for the per-event
-// observations; nil when no registry is attached.
+// coreMetrics caches per-run histogram batches for the per-event and
+// per-cycle observations; nil when no registry is attached. Batches
+// accumulate without atomics and fold into the shared registry on
+// FlushMetrics (every Run exit does this).
 type coreMetrics struct {
-	shadowLifetime *obs.Histogram
-	loadLatency    *obs.Histogram
-	robOcc         *obs.Histogram
-	iqOcc          *obs.Histogram
+	shadowLifetime *obs.HistogramBatch
+	loadLatency    *obs.HistogramBatch
+	robOcc         *obs.HistogramBatch
+	iqOcc          *obs.HistogramBatch
 }
 
 // SetMetrics attaches a metrics registry: the core observes shadow
 // lifetimes, demand-load latencies and per-cycle ROB/IQ occupancy into
 // scheme/ap-labeled histograms, and the memory hierarchy counts per-level
-// hits and misses. Pass nil to detach. End-of-run counters are flushed
-// separately via RecordStats (the sim package does both).
+// hits and misses. Pass nil to detach (pending batched observations are
+// flushed first). End-of-run counters are flushed separately via
+// RecordStats (the sim package does both).
 func (c *Core) SetMetrics(m *obs.Metrics) {
 	if m == nil {
+		c.FlushMetrics()
 		c.met = nil
 		c.hier.SetMetrics(nil)
 		return
@@ -104,16 +137,36 @@ func (c *Core) SetMetrics(m *obs.Metrics) {
 	c.met = &coreMetrics{
 		shadowLifetime: m.Histogram("sim_shadow_lifetime_cycles",
 			"Cycles each speculation shadow stayed open, from cast to resolution.",
-			obs.LifetimeBuckets, ls...),
+			obs.LifetimeBuckets, ls...).Batch(),
 		loadLatency: m.Histogram("sim_load_latency_cycles",
 			"Round-trip latency of issued demand loads.",
-			obs.LatencyBuckets, ls...),
+			obs.LatencyBuckets, ls...).Batch(),
 		robOcc: m.Histogram("sim_rob_occupancy",
 			"Per-cycle reorder-buffer occupancy.",
-			obs.OccupancyBuckets, ls...),
+			obs.OccupancyBuckets, ls...).Batch(),
 		iqOcc: m.Histogram("sim_iq_occupancy",
 			"Per-cycle issue-queue occupancy.",
-			obs.OccupancyBuckets, ls...),
+			obs.OccupancyBuckets, ls...).Batch(),
 	}
 	c.hier.SetMetrics(m)
+}
+
+// FlushMetrics folds the core's and the hierarchy's locally batched
+// observations into the attached registry. Run does this on every exit;
+// call it directly only when scraping the registry between manual Steps.
+func (c *Core) FlushMetrics() {
+	if c.met != nil {
+		c.met.shadowLifetime.Flush()
+		c.met.loadLatency.Flush()
+		c.met.robOcc.Flush()
+		c.met.iqOcc.Flush()
+	}
+	c.hier.FlushMetrics()
+}
+
+// flushObs delivers all buffered observability state (trace events and
+// batched metrics) at the end of a run segment.
+func (c *Core) flushObs() {
+	c.FlushTrace()
+	c.FlushMetrics()
 }

@@ -36,6 +36,19 @@ func (t *ShadowTracker) Add(seq uint64) {
 	}
 }
 
+// Reserve grows the tracker's capacity to hold at least n outstanding
+// shadows without reallocating. Outstanding shadows are bounded by the
+// reorder-buffer size, so a core can reserve once at construction and keep
+// the per-dispatch Add allocation-free.
+func (t *ShadowTracker) Reserve(n int) {
+	if cap(t.seqs) >= n {
+		return
+	}
+	seqs := make([]uint64, len(t.seqs), n)
+	copy(seqs, t.seqs)
+	t.seqs = seqs
+}
+
 // Opened returns the total number of shadows ever registered.
 func (t *ShadowTracker) Opened() uint64 { return t.opened }
 

@@ -1,0 +1,97 @@
+package sim_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"doppelganger/sim"
+)
+
+// A maxInsts limit is checked at commit: the run may only overshoot by the
+// commits of the cycle that crossed the limit, never by more than
+// CommitWidth-1 instructions.
+func TestRunMaxInstsStopsAtCommitBoundary(t *testing.T) {
+	p := sim.MustAssemble("spin", "loop: jmp loop\nhalt")
+	cc := sim.DefaultCoreConfig()
+	core, err := sim.NewCore(p, sim.Config{Core: &cc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxInsts = 1000
+	if err := core.Run(maxInsts, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	got := core.Stats.Committed
+	if got < maxInsts {
+		t.Errorf("committed %d, want >= %d", got, maxInsts)
+	}
+	if got > maxInsts+uint64(cc.CommitWidth)-1 {
+		t.Errorf("committed %d, overshoot past the limit must stay under CommitWidth=%d",
+			got, cc.CommitWidth)
+	}
+}
+
+// Hitting the cycle limit is an error, but the core's statistics must
+// survive it so the caller can see how far the run got.
+func TestRunCycleLimitPreservesStats(t *testing.T) {
+	p := sim.MustAssemble("spin", "loop: jmp loop\nhalt")
+	core, err := sim.NewCore(p, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const limit = 500
+	runErr := core.Run(0, limit)
+	if runErr == nil {
+		t.Fatal("spin loop under a 500-cycle budget should hit the cycle limit")
+	}
+	if core.Stats.Cycles != limit {
+		t.Errorf("Stats.Cycles = %d, want exactly %d", core.Stats.Cycles, limit)
+	}
+	if core.Stats.Committed == 0 {
+		t.Error("Stats.Committed = 0; the spin loop commits instructions before the limit")
+	}
+	if want := fmt.Sprintf("%d committed", core.Stats.Committed); !strings.Contains(runErr.Error(), want) {
+		t.Errorf("error %q should report the preserved commit count (%s)", runErr, want)
+	}
+}
+
+// Every suite workload's architectural state after a pipelined run must
+// match the reference interpreter exactly, and the core's streaming
+// Checksum must agree with the one derived from the full ArchState map.
+func TestArchStateMatchesInterpreterAllWorkloads(t *testing.T) {
+	for _, w := range sim.Workloads() {
+		for _, cfg := range []sim.Config{
+			{},
+			{Scheme: sim.DoM, AddressPrediction: true},
+		} {
+			name := fmt.Sprintf("%s/%v", w.Name, cfg.Scheme)
+			if cfg.AddressPrediction {
+				name += "+ap"
+			}
+			t.Run(name, func(t *testing.T) {
+				p := w.Build(sim.ScaleTest)
+				core, err := sim.NewCore(p, cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := core.Run(0, sim.DefaultMaxCycles); err != nil {
+					t.Fatal(err)
+				}
+				if !core.Halted() {
+					t.Fatal("core did not halt")
+				}
+				st := core.ArchState()
+				ref := sim.Interpret(p, 500_000_000)
+				if st.Checksum() != ref.Checksum() {
+					t.Errorf("ArchState checksum %#x differs from reference interpreter %#x",
+						st.Checksum(), ref.Checksum())
+				}
+				if core.Checksum() != st.Checksum() {
+					t.Errorf("streaming Checksum %#x differs from ArchState().Checksum() %#x",
+						core.Checksum(), st.Checksum())
+				}
+			})
+		}
+	}
+}

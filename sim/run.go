@@ -106,7 +106,14 @@ func RunContext(ctx context.Context, p *Program, cfg Config, opts ...RunOption) 
 	if maxCycles == 0 {
 		maxCycles = DefaultMaxCycles
 	}
-	if err := runCore(ctx, c, cfg.MaxInsts, maxCycles); err != nil {
+	err = runCore(ctx, c, cfg.MaxInsts, maxCycles)
+	// The chunked (cancellable) path steps the core directly, bypassing
+	// Core.Run's exit flush; deliver buffered trace events and batched
+	// metrics on every outcome so attached sinks and registries are
+	// complete even for failed runs.
+	c.FlushTrace()
+	c.FlushMetrics()
+	if err != nil {
 		return Result{}, fmt.Errorf("sim: %q under %v: %w", p.Name, cfg.Scheme, err)
 	}
 	res := Summarize(p, cfg, c)

@@ -186,7 +186,7 @@ func Summarize(p *Program, cfg Config, c *Core) Result {
 		IPC:      st.IPC(),
 		Coverage: st.Coverage(),
 		Accuracy: st.Accuracy(),
-		Checksum: c.ArchState().Checksum(),
+		Checksum: c.Checksum(),
 		Stats:    st,
 		Memory:   pipeline.SnapshotMemory(c.Hierarchy()),
 	}
