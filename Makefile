@@ -11,7 +11,7 @@ BENCH_THRESHOLD ?= 1.10
 ALLOC_THRESHOLD ?= 1.10
 
 .PHONY: build test vet race staticcheck check cover fmt figures smoke \
-	bench benchcheck benchbaseline leakcheck
+	cluster-smoke bench benchcheck benchbaseline leakcheck
 
 build:
 	$(GO) build ./...
@@ -82,3 +82,9 @@ figures:
 # HTTP API, and assert the Prometheus endpoint exposes simulator metrics.
 smoke:
 	./scripts/smoke.sh
+
+# Cluster end-to-end smoke: coordinator + 2 workers + persistent store,
+# streamed sweep with a worker killed mid-sweep, doppelbench burst, cluster
+# metrics scrape. CLUSTER_SMOKE_RACE=1 builds the fleet with -race.
+cluster-smoke:
+	./scripts/cluster-smoke.sh

@@ -1,0 +1,270 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// report is what one bench run produces. All counters are totals across
+// clients; latencies cover completed (HTTP 200) requests only.
+type report struct {
+	Mode      string
+	Duration  time.Duration
+	Clients   int
+	Completed int
+	Limited   int // 429 responses
+	Failed    int // transport errors and non-200/429 statuses
+	Statuses  map[int]int
+	Sources   map[string]int // result tier per 200 (run mode)
+	Latencies []time.Duration
+	// RetryAfterMax is the largest Retry-After the target asked for.
+	RetryAfterMax time.Duration
+}
+
+// runBench drives the configured load until the duration elapses or ctx is
+// cancelled, whichever comes first.
+func runBench(ctx context.Context, cfg config) *report {
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	// Pacing: one shared interval ticker approximates a total request rate
+	// across all clients; each client takes ticks from the channel.
+	var pace <-chan time.Time
+	if cfg.RPS > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / cfg.RPS))
+		defer t.Stop()
+		pace = t.C
+	}
+
+	rep := &report{
+		Mode:     cfg.Mode,
+		Clients:  cfg.Concurrency,
+		Statuses: make(map[int]int),
+		Sources:  make(map[string]int),
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.Concurrency; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Per-client derived seed: deterministic overall, distinct per
+			// client so the mixes interleave rather than march in lockstep.
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+			client := &http.Client{}
+			name := fmt.Sprintf("%s-%d", cfg.Client, i)
+			for ctx.Err() == nil {
+				if pace != nil {
+					select {
+					case <-pace:
+					case <-ctx.Done():
+						return
+					}
+				}
+				lat, status, source, retryAfter, err := fire(ctx, client, cfg, rng, name)
+				mu.Lock()
+				switch {
+				case err != nil:
+					if ctx.Err() == nil {
+						rep.Failed++
+					}
+				case status == http.StatusOK:
+					rep.Completed++
+					rep.Statuses[status]++
+					rep.Latencies = append(rep.Latencies, lat)
+					if source != "" {
+						rep.Sources[source]++
+					}
+				case status == http.StatusTooManyRequests:
+					rep.Limited++
+					rep.Statuses[status]++
+					if retryAfter > rep.RetryAfterMax {
+						rep.RetryAfterMax = retryAfter
+					}
+				default:
+					rep.Failed++
+					rep.Statuses[status]++
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	rep.Duration = time.Since(start)
+	return rep
+}
+
+// fire issues one request per the configured mode and mix.
+func fire(ctx context.Context, client *http.Client, cfg config, rng *rand.Rand, name string) (lat time.Duration, status int, source string, retryAfter time.Duration, err error) {
+	var path string
+	var body any
+	if cfg.Mode == "sweep" {
+		path = "/v1/sweep"
+		body = map[string]any{
+			"workloads": cfg.Workloads,
+			"schemes":   cfg.Schemes,
+			"ap":        cfg.AP,
+			"scale":     cfg.Scale,
+		}
+	} else {
+		path = "/v1/run"
+		ap := rng.Intn(2) == 1
+		if cfg.AP == "on" {
+			ap = true
+		} else if cfg.AP == "off" {
+			ap = false
+		}
+		body = map[string]any{
+			"workload": cfg.Workloads[rng.Intn(len(cfg.Workloads))],
+			"scheme":   cfg.Schemes[rng.Intn(len(cfg.Schemes))],
+			"ap":       ap,
+			"scale":    cfg.Scale,
+		}
+	}
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, 0, "", 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.Target+path, bytes.NewReader(raw))
+	if err != nil {
+		return 0, 0, "", 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Doppel-Client", name)
+	begin := time.Now()
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, "", 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var out struct {
+			Source string `json:"source"`
+		}
+		// Drain fully so the connection is reused; source is present when
+		// the target is a coordinator, absent from single-node doppeld.
+		dec := json.NewDecoder(resp.Body)
+		dec.Decode(&out)
+		io.Copy(io.Discard, resp.Body)
+		source = out.Source
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	lat = time.Since(begin)
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, perr := strconv.Atoi(s); perr == nil {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return lat, resp.StatusCode, source, retryAfter, nil
+}
+
+// percentile returns the p-th percentile (0-100) of sorted latencies.
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p / 100 * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// write renders the human report: totals, percentiles, tier sources, and a
+// log-bucketed ASCII latency histogram.
+func (r *report) write(w io.Writer) {
+	fmt.Fprintf(w, "doppelbench: mode=%s clients=%d duration=%v\n", r.Mode, r.Clients, r.Duration.Round(time.Millisecond))
+	total := r.Completed + r.Limited + r.Failed
+	rate := float64(r.Completed) / r.Duration.Seconds()
+	fmt.Fprintf(w, "requests: %d total, %d ok (%.1f/s), %d rate-limited, %d failed\n",
+		total, r.Completed, rate, r.Limited, r.Failed)
+	if len(r.Statuses) > 0 {
+		codes := make([]int, 0, len(r.Statuses))
+		for c := range r.Statuses {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		fmt.Fprintf(w, "status:  ")
+		for _, c := range codes {
+			fmt.Fprintf(w, " %d=%d", c, r.Statuses[c])
+		}
+		fmt.Fprintln(w)
+	}
+	if r.RetryAfterMax > 0 {
+		fmt.Fprintf(w, "max Retry-After: %v\n", r.RetryAfterMax)
+	}
+	if len(r.Sources) > 0 {
+		fmt.Fprintf(w, "sources: ")
+		for _, s := range []string{"memory", "store", "computed"} {
+			if n := r.Sources[s]; n > 0 {
+				fmt.Fprintf(w, " %s=%d", s, n)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if len(r.Latencies) == 0 {
+		fmt.Fprintln(w, "no completed requests; no latency distribution")
+		return
+	}
+	sorted := append([]time.Duration(nil), r.Latencies...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	fmt.Fprintf(w, "latency: p50=%v p90=%v p99=%v max=%v\n",
+		percentile(sorted, 50).Round(time.Microsecond),
+		percentile(sorted, 90).Round(time.Microsecond),
+		percentile(sorted, 99).Round(time.Microsecond),
+		sorted[len(sorted)-1].Round(time.Microsecond))
+	fmt.Fprint(w, histogram(sorted))
+}
+
+// histogram renders latencies into power-of-two millisecond buckets with
+// proportional bars, mirroring the coordinator's sweep-latency families.
+func histogram(sorted []time.Duration) string {
+	buckets := []time.Duration{
+		time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond, 200 * time.Millisecond, 500 * time.Millisecond,
+		time.Second, 2 * time.Second, 5 * time.Second,
+	}
+	counts := make([]int, len(buckets)+1)
+	for _, lat := range sorted {
+		placed := false
+		for i, b := range buckets {
+			if lat <= b {
+				counts[i]++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			counts[len(buckets)]++
+		}
+	}
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b bytes.Buffer
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		label := "   >5s"
+		if i < len(buckets) {
+			label = fmt.Sprintf("%6s", "≤"+buckets[i].String())
+		}
+		bar := strings.Repeat("#", max(1, 50*c/maxCount))
+		fmt.Fprintf(&b, "  %s  %-50s %d\n", label, bar, c)
+	}
+	return b.String()
+}

@@ -1,0 +1,148 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParseFlags(t *testing.T) {
+	cfg, err := parseFlags([]string{
+		"-target", "http://x:1", "-mode", "run", "-duration", "1s",
+		"-concurrency", "3", "-workloads", " a, b ,", "-schemes", "dom",
+		"-ap", "on", "-rps", "7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Concurrency != 3 || cfg.RPS != 7 || cfg.AP != "on" {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if len(cfg.Workloads) != 2 || cfg.Workloads[1] != "b" {
+		t.Errorf("workloads = %v, want [a b]", cfg.Workloads)
+	}
+
+	for _, bad := range [][]string{
+		{"-mode", "flood"},
+		{"-concurrency", "0"},
+		{"-workloads", ""},
+		{"-ap", "maybe"},
+	} {
+		if _, err := parseFlags(bad); err == nil {
+			t.Errorf("parseFlags(%v) accepted", bad)
+		}
+	}
+}
+
+// TestBenchAgainstFakeCoordinator drives the real bench loop against a
+// coordinator-shaped stub that alternates tiers and throttles one in four
+// requests, then checks the report's accounting.
+func TestBenchAgainstFakeCoordinator(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/run" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		if !strings.HasPrefix(r.Header.Get("X-Doppel-Client"), "bench-test-") {
+			t.Errorf("missing client tag, got %q", r.Header.Get("X-Doppel-Client"))
+		}
+		var spec struct {
+			Workload string `json:"workload"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil || spec.Workload == "" {
+			t.Errorf("bad request body: %v", err)
+		}
+		switch i := n.Add(1); {
+		case i%4 == 0:
+			w.Header().Set("Retry-After", "2")
+			w.WriteHeader(http.StatusTooManyRequests)
+		case i%2 == 0:
+			json.NewEncoder(w).Encode(map[string]any{"source": "memory", "result": map[string]any{"cycles": 1}})
+		default:
+			json.NewEncoder(w).Encode(map[string]any{"source": "computed", "result": map[string]any{"cycles": 1}})
+		}
+	}))
+	defer ts.Close()
+
+	rep := runBench(context.Background(), config{
+		Target:      ts.URL,
+		Mode:        "run",
+		Duration:    300 * time.Millisecond,
+		Concurrency: 2,
+		Workloads:   []string{"stream"},
+		Schemes:     []string{"unsafe", "dom"},
+		AP:          "both",
+		Scale:       "test",
+		Client:      "bench-test",
+		Seed:        1,
+	})
+	if rep.Completed == 0 {
+		t.Fatal("no completed requests against fake coordinator")
+	}
+	if rep.Limited == 0 {
+		t.Error("429s were served but not counted")
+	}
+	if rep.Failed != 0 {
+		t.Errorf("failed = %d, want 0", rep.Failed)
+	}
+	if rep.RetryAfterMax != 2*time.Second {
+		t.Errorf("RetryAfterMax = %v, want 2s", rep.RetryAfterMax)
+	}
+	if rep.Sources["memory"] == 0 || rep.Sources["computed"] == 0 {
+		t.Errorf("sources = %v, want both memory and computed", rep.Sources)
+	}
+	if len(rep.Latencies) != rep.Completed {
+		t.Errorf("latencies %d != completed %d", len(rep.Latencies), rep.Completed)
+	}
+
+	var sb strings.Builder
+	rep.write(&sb)
+	out := sb.String()
+	for _, want := range []string{"p50=", "429=", "memory=", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(sorted, 50); got != 5 {
+		t.Errorf("p50 = %v, want 5", got)
+	}
+	if got := percentile(sorted, 99); got != 9 {
+		t.Errorf("p99 = %v, want 9", got)
+	}
+	if got := percentile(nil, 50); got != 0 {
+		t.Errorf("p50 of empty = %v, want 0", got)
+	}
+}
+
+// TestBenchPacing checks -rps actually paces: at 20 rps for ~500ms the
+// bench should complete roughly 10 requests, not thousands.
+func TestBenchPacing(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(map[string]any{"result": map[string]any{"cycles": 1}})
+	}))
+	defer ts.Close()
+	rep := runBench(context.Background(), config{
+		Target:      ts.URL,
+		Mode:        "run",
+		Duration:    500 * time.Millisecond,
+		Concurrency: 4,
+		RPS:         20,
+		Workloads:   []string{"stream"},
+		Schemes:     []string{"unsafe"},
+		AP:          "off",
+		Scale:       "test",
+		Client:      "bench-test",
+	})
+	if rep.Completed == 0 || rep.Completed > 30 {
+		t.Errorf("completed = %d with 20 rps over 500ms, want ~10", rep.Completed)
+	}
+}

@@ -1,0 +1,199 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// bootRole starts run() for one role in-process and returns its base URL
+// plus a stop function that cancels the role and waits for run to return.
+func bootRole(t *testing.T, args ...string) (baseURL string, stop func() error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	ready := make(chan net.Addr, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), t.Logf, ready) }()
+	select {
+	case addr := <-ready:
+		baseURL = "http://" + addr.String()
+	case err := <-done:
+		cancel()
+		t.Fatalf("run(%v) exited before serving: %v", args, err)
+	case <-time.After(10 * time.Second):
+		cancel()
+		t.Fatalf("run(%v) never became ready", args)
+	}
+	stopped := false
+	stop = func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		cancel()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(40 * time.Second):
+			t.Fatal("run did not return after cancel")
+			return nil
+		}
+	}
+	t.Cleanup(func() { stop() })
+	return baseURL, stop
+}
+
+func waitForWorkers(t *testing.T, coordURL string, n int) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(coordURL + "/v1/cluster/workers")
+		if err == nil {
+			var body struct {
+				Workers []json.RawMessage `json:"workers"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			if err == nil && len(body.Workers) == n {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("coordinator never reported %d workers", n)
+}
+
+// TestWorkerDeregistersOnShutdown boots a coordinator and a worker through
+// the real role entry points and checks the shutdown contract: cancelling
+// the worker's context deregisters it from the coordinator before run
+// returns — the ring stops routing to a worker that is about to vanish.
+func TestWorkerDeregistersOnShutdown(t *testing.T) {
+	coordURL, _ := bootRole(t, "-role", "coordinator")
+	_, stopWorker := bootRole(t, "-role", "worker", "-coordinator", coordURL, "-worker-id", "wA", "-workers", "1")
+	waitForWorkers(t, coordURL, 1)
+
+	if err := stopWorker(); err != nil {
+		t.Fatalf("worker shutdown: %v", err)
+	}
+	// Deregistration happened before run returned, so the registry must be
+	// empty immediately — no heartbeat-timeout grace, no polling.
+	waitForWorkers(t, coordURL, 0)
+}
+
+// TestGracefulShutdownDrainsSweepStream boots a one-worker cluster, starts
+// a streaming sweep, and shuts the coordinator down mid-stream. The
+// shutdown must drain: the client keeps receiving progress events through
+// the terminal "done" summary, not a severed connection.
+func TestGracefulShutdownDrainsSweepStream(t *testing.T) {
+	coordURL, stopCoord := bootRole(t, "-role", "coordinator")
+	_, _ = bootRole(t, "-role", "worker", "-coordinator", coordURL, "-worker-id", "wB", "-workers", "1")
+	waitForWorkers(t, coordURL, 1)
+
+	body := `{"workloads":["stream"],"schemes":["unsafe","dom"],"scale":"test","stream":"ndjson"}`
+	resp, err := http.Post(coordURL+"/v1/sweep", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep status %d", resp.StatusCode)
+	}
+
+	type event struct {
+		Type   string `json:"type"`
+		Errors int    `json:"errors"`
+		Error  string `json:"error"`
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+
+	// Read the first progress event, then yank the coordinator's context
+	// while the sweep is demonstrably mid-stream.
+	if !sc.Scan() {
+		t.Fatalf("stream ended before first event: %v", sc.Err())
+	}
+	var first event
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatalf("bad first event %q: %v", sc.Text(), err)
+	}
+	if first.Type != "progress" {
+		t.Fatalf("first event type %q, want progress", first.Type)
+	}
+	shutdownDone := make(chan error, 1)
+	go func() { shutdownDone <- stopCoord() }()
+
+	events := 1
+	sawDone := false
+	for sc.Scan() {
+		events++
+		var ev event
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad event %q: %v", sc.Text(), err)
+		}
+		if ev.Error != "" {
+			t.Errorf("cell failed during drain: %s", ev.Error)
+		}
+		if ev.Type == "done" {
+			sawDone = true
+			if ev.Errors != 0 {
+				t.Errorf("drained sweep finished with %d errors", ev.Errors)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("stream severed instead of drained after %d events: %v", events, err)
+	}
+	if !sawDone {
+		t.Fatalf("stream ended after %d events without the terminal done event", events)
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("coordinator shutdown: %v", err)
+	}
+}
+
+// TestSingleRoleStillServes pins the default role: no cluster flags, same
+// standalone API as ever.
+func TestSingleRoleStillServes(t *testing.T) {
+	baseURL, _ := bootRole(t, "-workers", "1")
+	resp, err := http.Post(baseURL+"/v1/run", "application/json",
+		strings.NewReader(`{"workload":"stream","scale":"test"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run status %d", resp.StatusCode)
+	}
+	var out struct {
+		Result struct {
+			Cycles uint64 `json:"cycles"`
+		} `json:"result"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Result.Cycles == 0 {
+		t.Error("single-role run returned zero cycles")
+	}
+}
+
+// TestWorkerRoleRequiresCoordinator pins the flag contract.
+func TestWorkerRoleRequiresCoordinator(t *testing.T) {
+	err := run(context.Background(), []string{"-role", "worker", "-addr", "127.0.0.1:0"}, t.Logf, nil)
+	if err == nil || !strings.Contains(err.Error(), "-coordinator") {
+		t.Errorf("worker without -coordinator: err = %v, want mention of -coordinator", err)
+	}
+}
+
+// TestUnknownRoleRejected pins the error for a bad -role.
+func TestUnknownRoleRejected(t *testing.T) {
+	err := run(context.Background(), []string{"-role", "conductor"}, t.Logf, nil)
+	if err == nil || !strings.Contains(err.Error(), "conductor") {
+		t.Errorf("unknown role: err = %v, want mention of the bad role", err)
+	}
+}

@@ -1,0 +1,93 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// tokenBucket is one client's rate limiter: capacity burst, refilled at
+// rate tokens/second. Lazily refilled on each take.
+type tokenBucket struct {
+	tokens   float64
+	last     time.Time
+	lastUsed time.Time
+}
+
+// limiter hands out per-client token buckets. Idle clients are evicted so
+// a high-cardinality client population (the "millions of users" case)
+// cannot grow the map without bound.
+type limiter struct {
+	rate  float64 // tokens per second
+	burst float64
+	ttl   time.Duration
+	now   func() time.Time // injectable clock for tests
+
+	mu      sync.Mutex
+	buckets map[string]*tokenBucket
+	sweepAt time.Time
+}
+
+// newLimiter builds a limiter; rate <= 0 disables limiting (every take
+// succeeds).
+func newLimiter(rate float64, burst int) *limiter {
+	if burst <= 0 {
+		burst = 1
+	}
+	return &limiter{
+		rate:    rate,
+		burst:   float64(burst),
+		ttl:     5 * time.Minute,
+		now:     time.Now,
+		buckets: make(map[string]*tokenBucket),
+	}
+}
+
+// take attempts to consume one token for client. On refusal it returns
+// ok=false and the duration after which a token will be available — the
+// Retry-After the HTTP layer surfaces.
+func (l *limiter) take(client string) (ok bool, retryAfter time.Duration) {
+	if l.rate <= 0 {
+		return true, 0
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, exists := l.buckets[client]
+	if !exists {
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	// Refill for elapsed time, clamped at the burst capacity.
+	b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+	b.last = now
+	b.lastUsed = now
+	if b.tokens >= 1 {
+		b.tokens--
+		l.sweepLocked(now)
+		return true, 0
+	}
+	need := (1 - b.tokens) / l.rate
+	l.sweepLocked(now)
+	return false, time.Duration(math.Ceil(need * float64(time.Second)))
+}
+
+// sweepLocked evicts buckets idle past the TTL, at most once per TTL.
+func (l *limiter) sweepLocked(now time.Time) {
+	if now.Sub(l.sweepAt) < l.ttl {
+		return
+	}
+	l.sweepAt = now
+	for id, b := range l.buckets {
+		if now.Sub(b.lastUsed) > l.ttl {
+			delete(l.buckets, id)
+		}
+	}
+}
+
+// clients returns the number of tracked client buckets.
+func (l *limiter) clients() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.buckets)
+}

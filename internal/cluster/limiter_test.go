@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock steps time manually for deterministic limiter tests.
+type fakeClock struct{ t time.Time }
+
+func (f *fakeClock) now() time.Time                    { return f.t }
+func (f *fakeClock) advance(d time.Duration) time.Time { f.t = f.t.Add(d); return f.t }
+
+func newTestLimiter(rate float64, burst int) (*limiter, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	l := newLimiter(rate, burst)
+	l.now = clk.now
+	return l, clk
+}
+
+func TestLimiterBurstThenRefuse(t *testing.T) {
+	l, _ := newTestLimiter(1, 3)
+	for i := 0; i < 3; i++ {
+		if ok, _ := l.take("alice"); !ok {
+			t.Fatalf("take %d refused within burst", i)
+		}
+	}
+	ok, retry := l.take("alice")
+	if ok {
+		t.Fatal("4th take within burst succeeded")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Errorf("retryAfter = %v, want (0, 1s]", retry)
+	}
+}
+
+func TestLimiterRefills(t *testing.T) {
+	l, clk := newTestLimiter(2, 2) // 2 tokens/s
+	l.take("bob")
+	l.take("bob")
+	if ok, _ := l.take("bob"); ok {
+		t.Fatal("empty bucket granted a token")
+	}
+	clk.advance(500 * time.Millisecond) // refills one token at 2/s
+	if ok, _ := l.take("bob"); !ok {
+		t.Fatal("refilled token not granted")
+	}
+	if ok, _ := l.take("bob"); ok {
+		t.Fatal("second token granted after refilling only one")
+	}
+}
+
+func TestLimiterClientsIndependent(t *testing.T) {
+	l, _ := newTestLimiter(1, 1)
+	if ok, _ := l.take("a"); !ok {
+		t.Fatal("client a refused its burst")
+	}
+	if ok, _ := l.take("b"); !ok {
+		t.Fatal("client b throttled by client a's bucket")
+	}
+	if l.clients() != 2 {
+		t.Errorf("clients = %d, want 2", l.clients())
+	}
+}
+
+func TestLimiterDisabled(t *testing.T) {
+	l, _ := newTestLimiter(0, 1)
+	for i := 0; i < 100; i++ {
+		if ok, _ := l.take("anyone"); !ok {
+			t.Fatal("disabled limiter refused")
+		}
+	}
+	if l.clients() != 0 {
+		t.Error("disabled limiter tracked clients")
+	}
+}
+
+func TestLimiterEvictsIdleClients(t *testing.T) {
+	l, clk := newTestLimiter(10, 10)
+	l.take("old")
+	clk.advance(6 * time.Minute) // past the idle TTL
+	l.take("fresh")              // triggers the sweep
+	if l.clients() != 1 {
+		t.Errorf("clients = %d after idle sweep, want 1 (only \"fresh\")", l.clients())
+	}
+}

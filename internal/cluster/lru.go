@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"container/list"
+	"sync"
+
+	"doppelganger/sim"
+)
+
+// resultLRU is the coordinator's memory tier in front of the persistent
+// store: a bounded least-recently-used map from engine cache keys to
+// results. Capacity <= 0 disables it.
+type resultLRU struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	res sim.Result
+}
+
+func newResultLRU(capacity int) *resultLRU {
+	return &resultLRU{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+func (c *resultLRU) get(key string) (sim.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		return sim.Result{}, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+func (c *resultLRU) put(key string, res sim.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*lruEntry).key)
+	}
+}
+
+func (c *resultLRU) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

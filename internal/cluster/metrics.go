@@ -1,0 +1,52 @@
+package cluster
+
+import "doppelganger/internal/obs"
+
+// clusterMetrics caches the coordinator's registry handles. All families
+// are purely observational; nil (no registry) disables them.
+type clusterMetrics struct {
+	reg          *obs.Metrics
+	workersLive  *obs.Gauge
+	registered   *obs.Counter
+	failures     *obs.Counter
+	retries      *obs.Counter
+	rateLimited  *obs.Counter
+	saturated    *obs.Counter
+	memHits      *obs.Counter
+	storeHits    *obs.Counter
+	computed     *obs.Counter
+	jobLatency   *obs.Histogram
+	sweepLatency *obs.Histogram
+}
+
+// Cluster latency bucket edges, milliseconds. Jobs span cache hits
+// (sub-ms) to full-scale cells (tens of seconds); sweeps go longer.
+var (
+	clusterJobBuckets   = []uint64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000}
+	clusterSweepBuckets = []uint64{5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000, 300000}
+)
+
+func newClusterMetrics(m *obs.Metrics) *clusterMetrics {
+	if m == nil {
+		return nil
+	}
+	return &clusterMetrics{
+		reg:          m,
+		workersLive:  m.Gauge("cluster_workers_live", "Workers currently on the ring."),
+		registered:   m.Counter("cluster_worker_registrations_total", "Worker registrations accepted (including re-registrations)."),
+		failures:     m.Counter("cluster_worker_failures_total", "Workers removed for failed dispatches, missed heartbeats, or failed probes."),
+		retries:      m.Counter("cluster_job_retries_total", "Jobs re-dispatched to another worker after a worker failure."),
+		rateLimited:  m.Counter("cluster_rate_limited_total", "Requests refused 429 by per-client token buckets."),
+		saturated:    m.Counter("cluster_admission_rejected_total", "Requests refused 429 because the dispatch queue was saturated."),
+		memHits:      m.Counter("cluster_result_source_total", "Results by tier.", obs.L("source", "memory")),
+		storeHits:    m.Counter("cluster_result_source_total", "Results by tier.", obs.L("source", "store")),
+		computed:     m.Counter("cluster_result_source_total", "Results by tier.", obs.L("source", "computed")),
+		jobLatency:   m.Histogram("cluster_job_duration_ms", "End-to-end per-job latency at the coordinator in milliseconds.", clusterJobBuckets),
+		sweepLatency: m.Histogram("cluster_sweep_duration_ms", "End-to-end sweep latency in milliseconds.", clusterSweepBuckets),
+	}
+}
+
+// routed returns the per-worker dispatch counter (labeled series).
+func (m *clusterMetrics) routedTo(worker string) *obs.Counter {
+	return m.reg.Counter("cluster_jobs_routed_total", "Jobs dispatched per worker.", obs.L("worker", worker))
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"doppelganger/sim"
+)
+
+// Control-plane and data-plane wire types shared by coordinator and worker.
+
+// RegisterRequest announces a worker to the coordinator. Re-registering an
+// existing ID replaces its address (a restarted worker), never duplicates
+// it on the ring.
+type RegisterRequest struct {
+	// ID is the worker's stable identity (sharding is by ID, so a worker
+	// that restarts under the same ID reclaims its key range).
+	ID string `json:"id"`
+	// Addr is the worker's advertised base address, host:port.
+	Addr string `json:"addr"`
+}
+
+// RegisterResponse acknowledges a registration.
+type RegisterResponse struct {
+	// Workers is the live worker count after this registration.
+	Workers int `json:"workers"`
+	// HeartbeatMS is how often the coordinator expects heartbeats.
+	HeartbeatMS int64 `json:"heartbeat_ms"`
+}
+
+// HeartbeatRequest refreshes a worker's liveness.
+type HeartbeatRequest struct {
+	ID string `json:"id"`
+}
+
+// DeregisterRequest removes a worker from the ring (graceful shutdown).
+type DeregisterRequest struct {
+	ID string `json:"id"`
+}
+
+// ExecuteRequest asks a worker to run one job.
+type ExecuteRequest struct {
+	Spec JobSpec `json:"spec"`
+	// Key is the coordinator's canonical engine key for the spec. The
+	// worker re-derives it and refuses on mismatch: a disagreement means
+	// the two binaries encode cache keys differently (version skew), and
+	// silently proceeding would corrupt the shared result tier.
+	Key string `json:"key"`
+}
+
+// ExecuteResponse is a worker's completed job.
+type ExecuteResponse struct {
+	Key    string     `json:"key"`
+	Worker string     `json:"worker"`
+	Result sim.Result `json:"result"`
+}
+
+// WorkerInfo describes one registered worker on /v1/cluster/workers.
+type WorkerInfo struct {
+	ID   string `json:"id"`
+	Addr string `json:"addr"`
+	// LastSeenMS is milliseconds since the last heartbeat or successful
+	// dispatch.
+	LastSeenMS int64 `json:"last_seen_ms"`
+	// Jobs counts jobs dispatched to this worker.
+	Jobs uint64 `json:"jobs"`
+}
+
+// errorResponse is the JSON body of every non-2xx cluster reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %v", err)
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorResponse{Error: msg})
+}

@@ -1,0 +1,9 @@
+//go:build !race
+
+package cluster
+
+// raceEnabled reports whether the race detector is compiled in. The
+// acceptance sweep shrinks its matrix under -race: the detector's ~10x
+// slowdown would turn the full 168-cell matrix into minutes of wall clock
+// without exercising any additional interleavings.
+const raceEnabled = false

@@ -1,0 +1,148 @@
+#!/bin/sh
+# End-to-end smoke test for the doppeld cluster fabric: boot a coordinator
+# with a persistent result store plus two workers, stream a sweep, kill one
+# worker mid-sweep, and assert the sweep still completes with zero errors
+# (the coordinator re-shards the dead worker's cells onto the survivor).
+# Then fire a short doppelbench burst at the coordinator and assert the
+# cluster metric families are exposed. Used by `make cluster-smoke` and CI.
+#
+# CLUSTER_SMOKE_RACE=1 builds the binaries with the race detector.
+set -eu
+
+DIR="$(mktemp -d)"
+LOG_C="$DIR/coordinator.log"
+LOG_W1="$DIR/worker1.log"
+LOG_W2="$DIR/worker2.log"
+STREAM="$DIR/sweep.ndjson"
+
+# Bounded waits poll at 0.2s; WAIT_ITERS is scaled up under the race
+# detector because race-built simulators run ~10x slower and the first
+# sweep cell can take tens of seconds on a loaded single-CPU machine.
+BUILDFLAGS=""
+WAIT_ITERS=150
+if [ "${CLUSTER_SMOKE_RACE:-0}" = "1" ]; then
+    BUILDFLAGS="-race"
+    WAIT_ITERS=900
+fi
+go build $BUILDFLAGS -o "$DIR/doppeld" ./cmd/doppeld
+go build $BUILDFLAGS -o "$DIR/doppelbench" ./cmd/doppelbench
+
+PIDS=""
+cleanup() {
+    for pid in $PIDS; do
+        kill "$pid" 2>/dev/null || true
+    done
+    for pid in $PIDS; do
+        wait "$pid" 2>/dev/null || true
+    done
+}
+trap cleanup EXIT
+
+# wait_addr LOGFILE: echo the bound address once the process logs it.
+wait_addr() {
+    i=0
+    while :; do
+        addr=$(sed -n 's/.*doppeld: listening on \([0-9.:]*\).*/\1/p' "$1" | head -1)
+        [ -n "$addr" ] && { echo "$addr"; return 0; }
+        i=$((i + 1))
+        if [ "$i" -ge "$WAIT_ITERS" ]; then
+            echo "cluster-smoke: no address in $1" >&2
+            cat "$1" >&2
+            return 1
+        fi
+        sleep 0.2
+    done
+}
+
+"$DIR/doppeld" -role coordinator -addr 127.0.0.1:0 -store "$DIR/results.dgrs" \
+    -heartbeat 250ms >"$LOG_C" 2>&1 &
+PIDS="$PIDS $!"
+COORD=$(wait_addr "$LOG_C")
+
+"$DIR/doppeld" -role worker -addr 127.0.0.1:0 -coordinator "http://$COORD" \
+    -worker-id smoke-w1 -workers 1 >"$LOG_W1" 2>&1 &
+W1_PID=$!
+PIDS="$PIDS $W1_PID"
+
+"$DIR/doppeld" -role worker -addr 127.0.0.1:0 -coordinator "http://$COORD" \
+    -worker-id smoke-w2 -workers 1 >"$LOG_W2" 2>&1 &
+W2_PID=$!
+PIDS="$PIDS $W2_PID"
+
+# Wait until both workers are registered.
+i=0
+until curl -sf "http://$COORD/v1/cluster/workers" | grep -q smoke-w1 &&
+    curl -sf "http://$COORD/v1/cluster/workers" | grep -q smoke-w2; do
+    i=$((i + 1))
+    if [ "$i" -ge "$WAIT_ITERS" ]; then
+        echo "cluster-smoke: workers never joined" >&2
+        cat "$LOG_C" "$LOG_W1" "$LOG_W2" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+echo "cluster-smoke: coordinator on $COORD with 2 workers"
+
+# Stream a sweep (NDJSON) into a file so we can watch progress and strike
+# one worker while cells are demonstrably still in flight.
+curl -sfN -X POST "http://$COORD/v1/sweep" \
+    -H 'Content-Type: application/json' \
+    -d '{"workloads":["stream","pointer_chase","stencil"],"scale":"test","stream":"ndjson"}' \
+    >"$STREAM" &
+CURL_PID=$!
+PIDS="$PIDS $CURL_PID"
+
+i=0
+until [ -s "$STREAM" ] && grep -q '"type":"progress"' "$STREAM"; do
+    i=$((i + 1))
+    if [ "$i" -ge "$WAIT_ITERS" ]; then
+        echo "cluster-smoke: sweep produced no progress events" >&2
+        cat "$STREAM" "$LOG_C" >&2
+        exit 1
+    fi
+    sleep 0.2
+done
+
+echo "cluster-smoke: killing worker smoke-w2 mid-sweep"
+kill -9 "$W2_PID" 2>/dev/null || true
+
+if ! wait "$CURL_PID"; then
+    echo "cluster-smoke: sweep stream failed" >&2
+    tail -5 "$STREAM" >&2
+    cat "$LOG_C" >&2
+    exit 1
+fi
+
+tail -1 "$STREAM" | grep -q '"type":"done"' || {
+    echo "cluster-smoke: sweep never finished" >&2
+    tail -5 "$STREAM" >&2
+    exit 1
+}
+tail -1 "$STREAM" | grep -q '"errors":0' || {
+    echo "cluster-smoke: sweep completed with errors after worker kill" >&2
+    tail -1 "$STREAM" >&2
+    cat "$LOG_C" >&2
+    exit 1
+}
+CELLS=$(grep -c '"type":"progress"' "$STREAM")
+echo "cluster-smoke: sweep completed all $CELLS cells despite mid-sweep worker kill"
+
+# A short doppelbench burst: repeated cells now come from the result tier.
+"$DIR/doppelbench" -target "http://$COORD" -duration 2s -concurrency 2 \
+    -workloads stream,pointer_chase -schemes unsafe,dom -client smoke | tee "$DIR/bench.out"
+grep -q 'latency: p50=' "$DIR/bench.out" || {
+    echo "cluster-smoke: doppelbench produced no latency report" >&2
+    exit 1
+}
+
+# Cluster metric families must be exposed.
+METRICS=$(curl -sf "http://$COORD/metrics")
+for family in cluster_workers_live cluster_result_source_total cluster_worker_failures_total; do
+    echo "$METRICS" | grep -q "^${family}" || {
+        echo "cluster-smoke: /metrics missing ${family}" >&2
+        echo "$METRICS" | grep '^cluster' >&2 || true
+        exit 1
+    }
+done
+
+echo "cluster-smoke: ok ($CELLS cells, 1 worker killed, store $(wc -c <"$DIR/results.dgrs") bytes)"
