@@ -11,7 +11,7 @@ BENCH_THRESHOLD ?= 1.10
 ALLOC_THRESHOLD ?= 1.10
 
 .PHONY: build test vet race staticcheck check cover fmt figures smoke \
-	cluster-smoke bench benchcheck benchbaseline leakcheck
+	cluster-smoke checkpoint-smoke bench benchcheck benchbaseline leakcheck
 
 build:
 	$(GO) build ./...
@@ -88,3 +88,9 @@ smoke:
 # metrics scrape. CLUSTER_SMOKE_RACE=1 builds the fleet with -race.
 cluster-smoke:
 	./scripts/cluster-smoke.sh
+
+# Checkpoint end-to-end smoke: warm a workload once with doppelsim, restore
+# the snapshot under every scheme, and assert warm == cold architectural
+# checksums plus refusal of a corrupted file.
+checkpoint-smoke:
+	./scripts/checkpoint-smoke.sh

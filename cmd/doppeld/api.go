@@ -26,6 +26,12 @@ type RunRequest struct {
 	// TraceEvents caps how many of the most recent events are kept
 	// (0 = a server default; the server also enforces a hard ceiling).
 	TraceEvents int `json:"trace_events,omitempty"`
+	// Checkpoint warm-starts the run from a stored checkpoint (an ID from
+	// POST /v1/checkpoint or /v1/checkpoint/import). Workload may then be
+	// omitted — the checkpoint embeds its program — or named as a
+	// compatibility cross-check. MaxInsts counts total committed
+	// instructions including the checkpoint's warmup.
+	Checkpoint string `json:"checkpoint,omitempty"`
 }
 
 // RunResponse is one completed simulation.
@@ -78,6 +84,39 @@ type SweepResponse struct {
 	ID    string      `json:"id"`
 	Scale string      `json:"scale"`
 	Cells []SweepCell `json:"cells"`
+}
+
+// CheckpointRequest asks the server to warm up a workload and snapshot the
+// complete simulation state for later warm-started runs.
+type CheckpointRequest struct {
+	// Workload is a suite workload name (required).
+	Workload string `json:"workload"`
+	// Scale is "test" or "full" (default "full").
+	Scale string `json:"scale,omitempty"`
+	// Scheme is the scheme to warm under (default "unsafe").
+	Scheme string `json:"scheme,omitempty"`
+	// AP enables doppelganger loads during warmup.
+	AP bool `json:"ap,omitempty"`
+	// WarmupInsts is how many instructions to commit before snapshotting
+	// (required, > 0).
+	WarmupInsts uint64 `json:"warmup_insts"`
+}
+
+// CheckpointResponse describes a stored checkpoint. The ID references it in
+// RunRequest.Checkpoint and GET /v1/checkpoint/{id}; the digest is its
+// content identity (the engine folds it into cache keys).
+type CheckpointResponse struct {
+	ID          string `json:"id"`
+	Workload    string `json:"workload"`
+	Scheme      string `json:"scheme"`
+	AP          bool   `json:"ap,omitempty"`
+	WarmupInsts uint64 `json:"warmup_insts"`
+	// Insts and Cycle are the actual commit count and cycle the snapshot
+	// was taken at (the drain may commit slightly past WarmupInsts).
+	Insts     uint64 `json:"insts"`
+	Cycle     uint64 `json:"cycle"`
+	Digest    string `json:"digest"`
+	SizeBytes int    `json:"size_bytes"`
 }
 
 // errorResponse is the JSON body of every non-2xx reply.

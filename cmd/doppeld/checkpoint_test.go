@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+// createCheckpoint posts a checkpoint request and decodes the response.
+func createCheckpoint(t *testing.T, url, body string) CheckpointResponse {
+	t.Helper()
+	resp, b := postJSON(t, url+"/v1/checkpoint", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint status %d: %s", resp.StatusCode, b)
+	}
+	var ck CheckpointResponse
+	if err := json.Unmarshal(b, &ck); err != nil {
+		t.Fatalf("bad checkpoint JSON: %v\n%s", err, b)
+	}
+	return ck
+}
+
+func TestCheckpointCreateAndRun(t *testing.T) {
+	ts := newTestServer(t)
+	ck := createCheckpoint(t, ts.URL,
+		`{"workload":"stream","scale":"test","warmup_insts":5000}`)
+	if ck.ID == "" || ck.Workload != "stream" || ck.Scheme != "unsafe" {
+		t.Fatalf("bad checkpoint response: %+v", ck)
+	}
+	if ck.Insts < 5000 || ck.Digest == "" || ck.SizeBytes == 0 {
+		t.Fatalf("implausible checkpoint response: %+v", ck)
+	}
+
+	// A cold run and a warm-started run of the same cell agree
+	// architecturally.
+	var cold, warm RunResponse
+	resp, b := postJSON(t, ts.URL+"/v1/run",
+		`{"workload":"stream","scale":"test","scheme":"stt","ap":true}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold run status %d: %s", resp.StatusCode, b)
+	}
+	if err := json.Unmarshal(b, &cold); err != nil {
+		t.Fatal(err)
+	}
+	resp, b = postJSON(t, ts.URL+"/v1/run",
+		`{"workload":"stream","scale":"test","scheme":"stt","ap":true,"checkpoint":"`+ck.ID+`"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm run status %d: %s", resp.StatusCode, b)
+	}
+	if err := json.Unmarshal(b, &warm); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Result.Checksum != cold.Result.Checksum || warm.Result.Insts != cold.Result.Insts {
+		t.Errorf("warm run diverged architecturally: cold %+v, warm %+v", cold.Result, warm.Result)
+	}
+
+	// Workload may be omitted entirely: the checkpoint embeds its program.
+	resp, b = postJSON(t, ts.URL+"/v1/run",
+		`{"scheme":"stt","ap":true,"checkpoint":"`+ck.ID+`"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint-only run status %d: %s", resp.StatusCode, b)
+	}
+	var only RunResponse
+	if err := json.Unmarshal(b, &only); err != nil {
+		t.Fatal(err)
+	}
+	if only.Workload != "stream" || only.Result.Checksum != cold.Result.Checksum {
+		t.Errorf("checkpoint-only run wrong: %+v", only)
+	}
+}
+
+func TestCheckpointExportImportRoundTrip(t *testing.T) {
+	ts := newTestServer(t)
+	ck := createCheckpoint(t, ts.URL,
+		`{"workload":"pointer_chase","scale":"test","scheme":"dom","warmup_insts":3000}`)
+
+	resp, raw := getJSON(t, ts.URL+"/v1/checkpoint/"+ck.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Checkpoint-Digest"); got != ck.Digest {
+		t.Errorf("export digest header %q, want %q", got, ck.Digest)
+	}
+	if len(raw) != ck.SizeBytes {
+		t.Errorf("exported %d bytes, response said %d", len(raw), ck.SizeBytes)
+	}
+
+	imp, err := http.Post(ts.URL+"/v1/checkpoint/import", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer imp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(imp.Body)
+	if imp.StatusCode != http.StatusOK {
+		t.Fatalf("import status %d: %s", imp.StatusCode, buf.Bytes())
+	}
+	var reimported CheckpointResponse
+	if err := json.Unmarshal(buf.Bytes(), &reimported); err != nil {
+		t.Fatal(err)
+	}
+	if reimported.Digest != ck.Digest {
+		t.Errorf("import digest %q, want %q", reimported.Digest, ck.Digest)
+	}
+	if reimported.ID == ck.ID {
+		t.Error("import reused the original ID")
+	}
+}
+
+func TestCheckpointRejections(t *testing.T) {
+	ts := newTestServer(t)
+
+	cases := []struct {
+		name, body string
+		wantStatus int
+	}{
+		{"missing workload", `{"warmup_insts":1000}`, http.StatusBadRequest},
+		{"missing warmup", `{"workload":"stream","scale":"test"}`, http.StatusBadRequest},
+		{"unknown workload", `{"workload":"nope","warmup_insts":1000}`, http.StatusBadRequest},
+		{"unknown scheme", `{"workload":"stream","scheme":"nope","warmup_insts":1000}`, http.StatusBadRequest},
+	}
+	for _, c := range cases {
+		if resp, b := postJSON(t, ts.URL+"/v1/checkpoint", c.body); resp.StatusCode != c.wantStatus {
+			t.Errorf("%s: status %d, want %d: %s", c.name, resp.StatusCode, c.wantStatus, b)
+		}
+	}
+
+	// Corrupt import is refused by the format's checksum discipline.
+	resp, err := http.Post(ts.URL+"/v1/checkpoint/import", "application/octet-stream",
+		bytes.NewReader([]byte("DGCKgarbage")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("corrupt import: status %d, want 400", resp.StatusCode)
+	}
+
+	// Unknown checkpoint reference on /v1/run.
+	if resp, b := postJSON(t, ts.URL+"/v1/run",
+		`{"workload":"stream","scale":"test","checkpoint":"ckpt-999"}`); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown checkpoint ref: status %d, want 404: %s", resp.StatusCode, b)
+	}
+
+	// Incompatible workload cross-check: checkpoint of stream, run of
+	// pointer_chase.
+	ck := createCheckpoint(t, ts.URL, `{"workload":"stream","scale":"test","warmup_insts":2000}`)
+	if resp, b := postJSON(t, ts.URL+"/v1/run",
+		`{"workload":"pointer_chase","scale":"test","checkpoint":"`+ck.ID+`"}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("incompatible program: status %d, want 400: %s", resp.StatusCode, b)
+	}
+
+	// Missing export ID.
+	if resp, _ := getJSON(t, ts.URL+"/v1/checkpoint/ckpt-999"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("missing export: status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestCheckpointTracedRun(t *testing.T) {
+	ts := newTestServer(t)
+	ck := createCheckpoint(t, ts.URL, `{"workload":"stream","scale":"test","warmup_insts":5000}`)
+	resp, b := postJSON(t, ts.URL+"/v1/run",
+		`{"scheme":"dom","checkpoint":"`+ck.ID+`","trace":true,"trace_events":512}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("traced warm run status %d: %s", resp.StatusCode, b)
+	}
+	var run RunResponse
+	if err := json.Unmarshal(b, &run); err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Events) == 0 {
+		t.Fatal("traced warm run returned no events")
+	}
+	for _, e := range run.Events {
+		if e.Cycle <= ck.Cycle {
+			t.Fatalf("phantom pre-restore event at cycle %d (checkpoint cycle %d)", e.Cycle, ck.Cycle)
+		}
+	}
+}

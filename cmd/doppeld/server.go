@@ -43,6 +43,10 @@ type server struct {
 	results map[string]any
 	order   []string // insertion order, for FIFO eviction
 
+	ckptMu    sync.Mutex
+	ckpts     map[string]*sim.Checkpoint
+	ckptOrder []string // insertion order, for FIFO eviction
+
 	progMu   sync.Mutex
 	programs map[progKey]*sim.Program
 }
@@ -64,6 +68,7 @@ func newServer(eng *engine.Engine, met *sim.Metrics) *server {
 		met:      met,
 		start:    time.Now(),
 		results:  make(map[string]any),
+		ckpts:    make(map[string]*sim.Checkpoint),
 		programs: make(map[progKey]*sim.Program),
 	}
 }
@@ -74,6 +79,9 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpointCreate)
+	mux.HandleFunc("POST /v1/checkpoint/import", s.handleCheckpointImport)
+	mux.HandleFunc("GET /v1/checkpoint/{id}", s.handleCheckpointExport)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -117,7 +125,7 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if req.Workload == "" {
+	if req.Workload == "" && req.Checkpoint == "" {
 		writeError(w, http.StatusBadRequest, "missing \"workload\"")
 		return
 	}
@@ -135,10 +143,31 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	prog, err := s.program(req.Workload, scale)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err.Error())
-		return
+	var ck *sim.Checkpoint
+	if req.Checkpoint != "" {
+		if ck = s.checkpoint(req.Checkpoint); ck == nil {
+			writeError(w, http.StatusNotFound, fmt.Sprintf("no stored checkpoint %q", req.Checkpoint))
+			return
+		}
+	}
+	var prog *sim.Program
+	if req.Workload != "" {
+		prog, err = s.program(req.Workload, scale)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if ck != nil {
+			if err := ck.CompatibleWith(prog); err != nil {
+				writeError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		}
+	} else {
+		// Checkpoint-only request: run the program embedded in the
+		// checkpoint (its captured state supersedes any initial image).
+		prog = ck.Program()
+		scaleName = ""
 	}
 	cfg := sim.Config{
 		Scheme:            scheme,
@@ -171,13 +200,19 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
 			defer cancel()
 		}
-		res, err = sim.RunContext(ctx, prog, cfg,
-			sim.WithTracer(ring), sim.WithMetrics(s.met))
+		if ck != nil {
+			res, err = sim.RunFromCheckpoint(ctx, prog, cfg, ck,
+				sim.WithTracer(ring), sim.WithMetrics(s.met))
+		} else {
+			res, err = sim.RunContext(ctx, prog, cfg,
+				sim.WithTracer(ring), sim.WithMetrics(s.met))
+		}
 	} else {
 		res, err = s.eng.Submit(r.Context(), engine.Job{
-			Program: prog,
-			Config:  cfg,
-			Timeout: time.Duration(req.TimeoutMS) * time.Millisecond,
+			Program:    prog,
+			Config:     cfg,
+			Checkpoint: ck,
+			Timeout:    time.Duration(req.TimeoutMS) * time.Millisecond,
 		})
 	}
 	if err != nil {
@@ -185,9 +220,13 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.runs.Add(1)
+	workloadName := req.Workload
+	if workloadName == "" {
+		workloadName = prog.Name
+	}
 	resp := RunResponse{
 		ID:       s.newID("run"),
-		Workload: req.Workload,
+		Workload: workloadName,
 		Scale:    scaleName,
 		Scheme:   scheme.String(),
 		AP:       req.AP,
@@ -318,13 +357,17 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	stored := len(s.results)
 	s.mu.Unlock()
+	s.ckptMu.Lock()
+	ckpts := len(s.ckpts)
+	s.ckptMu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"engine": s.eng.Stats(),
 		"server": map[string]any{
-			"uptime_ms":      time.Since(s.start).Milliseconds(),
-			"runs":           s.runs.Load(),
-			"sweeps":         s.sweeps.Load(),
-			"results_stored": stored,
+			"uptime_ms":          time.Since(s.start).Milliseconds(),
+			"runs":               s.runs.Load(),
+			"sweeps":             s.sweeps.Load(),
+			"results_stored":     stored,
+			"checkpoints_stored": ckpts,
 		},
 	})
 }

@@ -10,6 +10,8 @@
 //	doppelsim -workload stream -trace 1000:1200           # JSONL events for a cycle window
 //	doppelsim -workload stream -trace all -trace-out t.jsonl
 //	doppelsim -workload stream -scheme dom -metrics -     # Prometheus text on stdout
+//	doppelsim -workload stream -warmup-insts 100000 -checkpoint-out warm.ckpt
+//	doppelsim -checkpoint-in warm.ckpt -scheme stt -ap    # fork the warm state
 package main
 
 import (
@@ -46,6 +48,9 @@ func main() {
 		list         = flag.Bool("list", false, "list suite workloads and exit")
 		parallel     = flag.Int("parallel", 0, "with -all, engine worker-pool size (0 = one per CPU)")
 		jsonOut      = flag.Bool("json", false, "emit results as JSON")
+		ckptOut      = flag.String("checkpoint-out", "", "warm up, then write a checkpoint file and exit (requires -warmup-insts)")
+		ckptIn       = flag.String("checkpoint-in", "", "warm-start from a checkpoint file instead of the program's initial state")
+		warmupInsts  = flag.Uint64("warmup-insts", 0, "with -checkpoint-out, commit this many instructions before snapshotting")
 	)
 	flag.Parse()
 
@@ -66,6 +71,9 @@ func main() {
 	if *all && *vp {
 		fail(fmt.Errorf("-vp cannot be combined with -all: the comparison table contrasts doppelganger loads, not value prediction; run -scheme dom -vp instead"))
 	}
+	if err := validateCheckpointFlags(*ckptOut, *ckptIn, *warmupInsts, *all, *trace, *metricsOut, *verify); err != nil {
+		fail(err)
+	}
 	scheme, err := sim.ParseScheme(*schemeName)
 	if err != nil {
 		fail(fmt.Errorf("unknown scheme %q: valid schemes are %s", *schemeName, strings.Join(schemeNames(), ", ")))
@@ -75,9 +83,15 @@ func main() {
 		fail(err)
 	}
 
-	prog, err := loadProgram(*workloadName, *file, *scaleName)
-	if err != nil {
-		fail(err)
+	// With -checkpoint-in the program is optional: the checkpoint embeds
+	// the one it was taken of, and naming a program here only adds a
+	// compatibility cross-check.
+	var prog *sim.Program
+	if *ckptIn == "" || *workloadName != "" || *file != "" {
+		prog, err = loadProgram(*workloadName, *file, *scaleName)
+		if err != nil {
+			fail(err)
+		}
 	}
 
 	if *all {
@@ -92,6 +106,24 @@ func main() {
 		MaxCycles:         *maxCycles,
 		Core:              &cc,
 	}
+
+	if *ckptOut != "" {
+		ck, err := sim.Snapshot(prog, cfg, *warmupInsts)
+		if err != nil {
+			fail(err)
+		}
+		if err := ck.WriteFile(*ckptOut); err != nil {
+			fail(err)
+		}
+		st := ck.State()
+		fmt.Printf("checkpoint written  %s\n", *ckptOut)
+		fmt.Printf("program             %s\n", prog.Name)
+		fmt.Printf("warmed under        %v (doppelganger loads: %v)\n", cfg.Scheme, cfg.AddressPrediction)
+		fmt.Printf("committed / cycle   %d insts / %d\n", st.Stats.Committed, st.Cycle)
+		fmt.Printf("digest              %s\n", ck.Digest())
+		return
+	}
+
 	var opts []sim.RunOption
 	if *trace != "" {
 		w, closeTrace, err := openOut(*traceOut)
@@ -113,9 +145,21 @@ func main() {
 		met = sim.NewMetrics()
 		opts = append(opts, sim.WithMetrics(met))
 	}
-	res, err := sim.RunContext(context.Background(), prog, cfg, opts...)
-	if err != nil {
-		fail(err)
+	var res sim.Result
+	if *ckptIn != "" {
+		ck, err := sim.ReadCheckpoint(*ckptIn)
+		if err != nil {
+			fail(err)
+		}
+		res, err = sim.RunFromCheckpoint(context.Background(), prog, cfg, ck, opts...)
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		res, err = sim.RunContext(context.Background(), prog, cfg, opts...)
+		if err != nil {
+			fail(err)
+		}
 	}
 	if met != nil {
 		w, closeMetrics, err := openOut(*metricsOut)
@@ -143,6 +187,35 @@ func main() {
 		return
 	}
 	printResult(res)
+}
+
+// validateCheckpointFlags rejects contradictory checkpoint invocations up
+// front, so a bad combination fails with a usage message instead of
+// silently running something other than what was asked for.
+func validateCheckpointFlags(ckptOut, ckptIn string, warmupInsts uint64, all bool, trace, metricsOut string, verify bool) error {
+	if ckptOut != "" && ckptIn != "" {
+		return fmt.Errorf("-checkpoint-out and -checkpoint-in are mutually exclusive: one run either takes a snapshot or restores one")
+	}
+	if ckptOut != "" {
+		if warmupInsts == 0 {
+			return fmt.Errorf("-checkpoint-out requires -warmup-insts: say how far to warm before snapshotting")
+		}
+		if all || trace != "" || metricsOut != "" || verify {
+			return fmt.Errorf("-checkpoint-out runs only the warmup and cannot be combined with -all, -trace, -metrics or -verify; take the snapshot first, then run from it with -checkpoint-in")
+		}
+	}
+	if warmupInsts > 0 && ckptOut == "" {
+		return fmt.Errorf("-warmup-insts only configures -checkpoint-out; to bound a normal run use -maxinsts")
+	}
+	if ckptIn != "" {
+		if all {
+			return fmt.Errorf("-checkpoint-in cannot be combined with -all yet; run each scheme separately from the same checkpoint")
+		}
+		if verify {
+			return fmt.Errorf("-checkpoint-in cannot be combined with -verify: the reference interpreter replays the program's initial state, which the checkpoint supersedes")
+		}
+	}
+	return nil
 }
 
 // buildCoreConfig assembles the core configuration from the predictor

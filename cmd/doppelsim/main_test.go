@@ -67,3 +67,35 @@ func TestSchemeNamesListsExtensions(t *testing.T) {
 		}
 	}
 }
+
+func TestValidateCheckpointFlags(t *testing.T) {
+	ok := func(name string, err error) {
+		t.Helper()
+		if err != nil {
+			t.Errorf("%s rejected: %v", name, err)
+		}
+	}
+	bad := func(name string, err error, wantSub string) {
+		t.Helper()
+		if err == nil {
+			t.Errorf("%s accepted", name)
+		} else if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("%s: error %q does not mention %q", name, err, wantSub)
+		}
+	}
+
+	ok("plain run", validateCheckpointFlags("", "", 0, false, "", "", false))
+	ok("snapshot", validateCheckpointFlags("w.ckpt", "", 1000, false, "", "", false))
+	ok("restore", validateCheckpointFlags("", "w.ckpt", 0, false, "", "", false))
+	ok("restore with trace", validateCheckpointFlags("", "w.ckpt", 0, false, "all", "-", false))
+
+	bad("out+in", validateCheckpointFlags("a", "b", 1000, false, "", "", false), "mutually exclusive")
+	bad("out without warmup", validateCheckpointFlags("a", "", 0, false, "", "", false), "-warmup-insts")
+	bad("out+all", validateCheckpointFlags("a", "", 1000, true, "", "", false), "-all")
+	bad("out+trace", validateCheckpointFlags("a", "", 1000, false, "all", "", false), "-trace")
+	bad("out+metrics", validateCheckpointFlags("a", "", 1000, false, "", "-", false), "-metrics")
+	bad("out+verify", validateCheckpointFlags("a", "", 1000, false, "", "", true), "-verify")
+	bad("warmup alone", validateCheckpointFlags("", "", 1000, false, "", "", false), "-checkpoint-out")
+	bad("in+all", validateCheckpointFlags("", "b", 0, true, "", "", false), "-all")
+	bad("in+verify", validateCheckpointFlags("", "b", 0, false, "", "", true), "-verify")
+}

@@ -28,6 +28,7 @@ func main() {
 	csvPath := flag.String("csv", "", "also export the full matrix as CSV to this file")
 	metricsPath := flag.String("metrics", "", "export sweep metrics in Prometheus text format to this file (\"-\" = stdout)")
 	check := flag.Bool("check", false, "run the qualitative shape checks and exit non-zero on failure")
+	warmup := flag.Uint64("warmup", 0, "warm-start: snapshot each workload once after N committed instructions and fork every scheme cell from it (0 = cold)")
 	flag.Parse()
 
 	var met *sim.Metrics
@@ -111,7 +112,7 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := harness.Options{Scale: sc, Verify: *verify, Parallelism: *parallel, Metrics: met}
+	opts := harness.Options{Scale: sc, Verify: *verify, Parallelism: *parallel, Metrics: met, WarmupInsts: *warmup}
 	if !*quiet {
 		opts.Progress = os.Stderr
 	}

@@ -9,6 +9,7 @@
 //	leakcheck -seeds 1024 -json               # machine-readable report
 //	leakcheck -seeds 256 -minimize            # shrink each reproducer
 //	leakcheck -seed 42 -schemes dom -ap on    # one seed, one cell, with disasm
+//	leakcheck -seeds 256 -warmup 200          # every run forked from a mid-gadget checkpoint
 //
 // Exit status: 0 when every expectation holds (secure schemes silent, the
 // unsafe baseline divergent, every planted mutation caught), 1 when any
@@ -38,6 +39,7 @@ func main() {
 		mutations = flag.Bool("mutations", true, "also run the mutation gauntlet (planted scheme weakenings must be caught)")
 		mutSeeds  = flag.Int("mutation-seeds", 64, "max seeds to hunt per planted mutation")
 		minimize  = flag.Bool("minimize", false, "minimize each leaking reproducer")
+		warmup    = flag.Uint64("warmup", 0, "route each run through snapshot/restore after N warmed instructions (0 = straight-line)")
 		jsonOut   = flag.Bool("json", false, "emit the report as JSON")
 		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent gadget checks")
 	)
@@ -47,6 +49,9 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "leakcheck:", err)
 		os.Exit(2)
+	}
+	for i := range cfgs {
+		cfgs[i].WarmupInsts = *warmup
 	}
 	first, n := *firstSeed, *seeds
 	if *oneSeed >= 0 {

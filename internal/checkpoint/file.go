@@ -1,0 +1,187 @@
+package checkpoint
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+
+	"doppelganger/internal/pipeline"
+)
+
+// On-disk / wire layout (all integers little-endian):
+//
+//	[4]byte  magic "DGCK"
+//	uint32   format version
+//	uint32   section count
+//	repeated per section:
+//	    uint32  name length
+//	    []byte  name
+//	    uint64  payload length
+//	    []byte  payload
+//	    uint32  CRC-32 (IEEE) of payload
+//
+// Sections are JSON payloads, written in a fixed order ("meta", "core")
+// so the encoding — and therefore the digest — is canonical. Readers
+// locate sections by name, so a future version can append sections
+// without disturbing old ones; any change to existing payload schemas
+// must bump Version (the golden test pins the encoding to force this).
+
+// Magic identifies a checkpoint file.
+const Magic = "DGCK"
+
+// Version is the checkpoint format version. Bump it on any encoding
+// change; readers refuse other versions with a clear error.
+const Version = 1
+
+const (
+	sectionMeta = "meta"
+	sectionCore = "core"
+
+	maxSections    = 64
+	maxNameLen     = 256
+	maxPayloadSize = 1 << 31 // 2 GiB; a real checkpoint is a few MiB
+)
+
+// ErrNotCheckpoint marks data that does not start with the checkpoint
+// magic number.
+var ErrNotCheckpoint = errors.New("checkpoint: not a checkpoint (bad magic)")
+
+// ErrVersion marks a checkpoint written by a different format version.
+var ErrVersion = errors.New("checkpoint: format version mismatch")
+
+// ErrCorrupt marks a structurally damaged checkpoint (truncation, bad
+// section CRC, malformed payload).
+var ErrCorrupt = errors.New("checkpoint: corrupt")
+
+func encode(c *Checkpoint) ([]byte, error) {
+	metaJSON, err := json.Marshal(c.meta)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encoding meta: %w", err)
+	}
+	coreJSON, err := json.Marshal(c.state)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: encoding core state: %w", err)
+	}
+	sections := []struct {
+		name    string
+		payload []byte
+	}{
+		{sectionMeta, metaJSON},
+		{sectionCore, coreJSON},
+	}
+	size := 4 + 4 + 4
+	for _, s := range sections {
+		size += 4 + len(s.name) + 8 + len(s.payload) + 4
+	}
+	buf := make([]byte, 0, size)
+	buf = append(buf, Magic...)
+	buf = binary.LittleEndian.AppendUint32(buf, Version)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sections)))
+	for _, s := range sections {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s.name)))
+		buf = append(buf, s.name...)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(s.payload)))
+		buf = append(buf, s.payload...)
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(s.payload))
+	}
+	return buf, nil
+}
+
+// Decode parses and verifies an encoded checkpoint: magic, format
+// version, section CRCs, and the presence and validity of the required
+// sections. The returned checkpoint's digest is computed over the exact
+// input bytes, so Decode(Encode()) round-trips the identity.
+func Decode(data []byte) (*Checkpoint, error) {
+	if len(data) < 12 || string(data[:4]) != Magic {
+		return nil, ErrNotCheckpoint
+	}
+	version := binary.LittleEndian.Uint32(data[4:8])
+	if version != Version {
+		return nil, fmt.Errorf("%w: file is format version %d, this build reads version %d",
+			ErrVersion, version, Version)
+	}
+	nSections := binary.LittleEndian.Uint32(data[8:12])
+	if nSections > maxSections {
+		return nil, fmt.Errorf("%w: implausible section count %d", ErrCorrupt, nSections)
+	}
+	payloads := make(map[string][]byte, nSections)
+	off := 12
+	for i := uint32(0); i < nSections; i++ {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("%w: truncated at section %d name length", ErrCorrupt, i)
+		}
+		nameLen := int(binary.LittleEndian.Uint32(data[off:]))
+		off += 4
+		if nameLen > maxNameLen || off+nameLen > len(data) {
+			return nil, fmt.Errorf("%w: truncated at section %d name", ErrCorrupt, i)
+		}
+		name := string(data[off : off+nameLen])
+		off += nameLen
+		if off+8 > len(data) {
+			return nil, fmt.Errorf("%w: truncated at section %q payload length", ErrCorrupt, name)
+		}
+		payloadLen := binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		if payloadLen > maxPayloadSize || off+int(payloadLen)+4 > len(data) {
+			return nil, fmt.Errorf("%w: truncated at section %q payload", ErrCorrupt, name)
+		}
+		payload := data[off : off+int(payloadLen)]
+		off += int(payloadLen)
+		sum := binary.LittleEndian.Uint32(data[off:])
+		off += 4
+		if got := crc32.ChecksumIEEE(payload); got != sum {
+			return nil, fmt.Errorf("%w: section %q checksum mismatch (stored %08x, computed %08x)",
+				ErrCorrupt, name, sum, got)
+		}
+		payloads[name] = payload
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after last section", ErrCorrupt, len(data)-off)
+	}
+	metaJSON, ok := payloads[sectionMeta]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing %q section", ErrCorrupt, sectionMeta)
+	}
+	coreJSON, ok := payloads[sectionCore]
+	if !ok {
+		return nil, fmt.Errorf("%w: missing %q section", ErrCorrupt, sectionCore)
+	}
+	c := &Checkpoint{state: new(pipeline.CoreState)}
+	if err := json.Unmarshal(metaJSON, &c.meta); err != nil {
+		return nil, fmt.Errorf("%w: bad meta section: %v", ErrCorrupt, err)
+	}
+	if err := json.Unmarshal(coreJSON, c.state); err != nil {
+		return nil, fmt.Errorf("%w: bad core section: %v", ErrCorrupt, err)
+	}
+	if len(c.meta.Code) == 0 {
+		return nil, fmt.Errorf("%w: meta embeds no program code", ErrCorrupt)
+	}
+	c.enc = append([]byte(nil), data...)
+	c.digest = digestOf(c.enc)
+	return c, nil
+}
+
+// WriteFile writes the canonical encoding to path (0644), replacing any
+// existing file.
+func (c *Checkpoint) WriteFile(path string) error {
+	if err := os.WriteFile(path, c.enc, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadFile reads and verifies a checkpoint file.
+func ReadFile(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	c, err := Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return c, nil
+}

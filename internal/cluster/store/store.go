@@ -32,7 +32,12 @@ import (
 
 // Version is the current file-format version. Load rejects files written by
 // a different version rather than guessing at their layout.
-const Version = 1
+//
+// Version 2: engine cache keys gained a checkpoint-digest component, so keys
+// written by version-1 builds may name different simulations than the same
+// bytes under this build. The record layout is unchanged; the bump exists to
+// keep stale key→result mappings from being served.
+const Version = 2
 
 var magic = [4]byte{'D', 'G', 'R', 'S'}
 

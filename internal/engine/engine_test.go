@@ -288,3 +288,39 @@ func TestSubmitAfterClose(t *testing.T) {
 		t.Fatalf("error = %v, want ErrClosed", err)
 	}
 }
+
+// TestCheckpointJob exercises the warm-start path through the engine: a
+// checkpoint-bearing job restores instead of cold-starting, reproduces the
+// cold run's architectural result, and caches under its own key.
+func TestCheckpointJob(t *testing.T) {
+	prog := testProgram(t, "stream")
+	ck, err := sim.Snapshot(prog, sim.Config{}, 5_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := New(Options{Workers: 2})
+	defer e.Close()
+
+	cfg := sim.Config{Scheme: sim.STT, AddressPrediction: true}
+	cold, err := e.Submit(context.Background(), Job{Program: prog, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := e.Submit(context.Background(), Job{Program: prog, Config: cfg, Checkpoint: ck})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Checksum != cold.Checksum || warm.Insts != cold.Insts {
+		t.Errorf("warm-started job diverged architecturally: cold %+v, warm %+v", cold, warm)
+	}
+	if st := e.Stats(); st.JobsRun != 2 {
+		t.Errorf("JobsRun = %d, want 2 — the warm and cold jobs must not share a cache entry", st.JobsRun)
+	}
+	// Resubmitting the warm job is a cache hit.
+	if _, err := e.Submit(context.Background(), Job{Program: prog, Config: cfg, Checkpoint: ck}); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.JobsRun != 2 || st.CacheHits != 1 {
+		t.Errorf("stats after resubmit = run %d, hits %d; want 2, 1", st.JobsRun, st.CacheHits)
+	}
+}

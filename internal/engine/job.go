@@ -28,6 +28,13 @@ type Job struct {
 	// Config selects the scheme, address prediction, run bounds and
 	// optional core overrides.
 	Config sim.Config
+	// Checkpoint, when non-nil, makes the run a warm start: the core is
+	// rebuilt from the checkpoint's captured state instead of the
+	// program's initial state, and Config.MaxInsts counts total committed
+	// instructions including the checkpoint's warmup. The checkpoint's
+	// digest is part of the cache key — a warm-started run and a cold run
+	// are different simulations and must never share a cached result.
+	Checkpoint *sim.Checkpoint
 	// Timeout bounds this job's wall-clock execution; zero uses the
 	// engine's default (which may be none). Timeouts do not contribute
 	// to the cache key — they are an execution detail, not an identity.
@@ -45,6 +52,11 @@ func (j Job) Key() Key {
 	h := sha256.New()
 	fingerprintProgram(h, j.Program)
 	fingerprintConfig(h, j.Config)
+	if j.Checkpoint != nil {
+		// Folded in only when present, so every pre-checkpoint key (and the
+		// result tiers stored under them) is unchanged.
+		fmt.Fprintf(h, "|ckpt|%s|", j.Checkpoint.Digest())
+	}
 	return Key(hex.EncodeToString(h.Sum(nil)))
 }
 

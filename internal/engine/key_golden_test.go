@@ -4,7 +4,9 @@ import (
 	"regexp"
 	"testing"
 
+	"doppelganger/internal/checkpoint"
 	"doppelganger/internal/isa"
+	"doppelganger/internal/pipeline"
 	"doppelganger/sim"
 )
 
@@ -24,6 +26,34 @@ func goldenProgram() *sim.Program {
 	}
 	p.InitRegs[3] = 42
 	return p
+}
+
+// goldenCheckpoint builds a synthetic checkpoint with fully pinned contents,
+// so its digest — and therefore the cache key of any job referencing it — is
+// deterministic. The core state is hand-built rather than captured from a
+// simulation on purpose: a capture's digest would shift with every timing
+// change, but the key encoding must only shift when the encoding itself does.
+func goldenCheckpoint(t *testing.T) *sim.Checkpoint {
+	t.Helper()
+	p := goldenProgram()
+	st := &pipeline.CoreState{
+		Cycle:       123,
+		SeqCtr:      45,
+		FetchPC:     1,
+		CommittedPC: []uint64{0, 1, 2},
+	}
+	st.Stats.Committed = 40
+	ck, err := checkpoint.New(checkpoint.Meta{
+		ProgramName:  p.Name,
+		ProgramEntry: p.Entry,
+		Code:         p.Code,
+		WarmScheme:   "unsafe",
+		WarmupInsts:  40,
+	}, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ck
 }
 
 // TestKeyGolden pins the canonical cache-key encoding to exact digests.
@@ -65,6 +95,19 @@ func TestKeyGolden(t *testing.T) {
 				Config:  sim.Config{MaxInsts: 1000, MaxCycles: 5000},
 			},
 			want: "c6dcc01827230e1cdd282688cfc3faac25d280294206e7effeb1afd3fb2157cf",
+		},
+		{
+			// The first four cases predate checkpoints and their digests are
+			// unchanged: a nil Checkpoint contributes nothing to the key, so
+			// cold-run keys (and results stored under them) survive the
+			// feature's introduction.
+			name: "golden program, warm-started from golden checkpoint",
+			job: Job{
+				Program:    goldenProgram(),
+				Config:     sim.Config{Scheme: sim.DoM, AddressPrediction: true},
+				Checkpoint: goldenCheckpoint(t),
+			},
+			want: "c77f0790d1d7e2d0d40d43683f7e7ff72e2a99bb2ceddd0a8147aff073bb9479",
 		},
 	}
 	for _, c := range cases {
@@ -129,5 +172,29 @@ func TestKeySensitivity(t *testing.T) {
 
 	if got := (Job{Program: goldenProgram(), Config: sim.Config{AddressPrediction: true}}).Key(); got == base {
 		t.Error("AddressPrediction did not change the key")
+	}
+
+	ck := goldenCheckpoint(t)
+	warm := Job{Program: goldenProgram(), Checkpoint: ck}.Key()
+	if warm == base {
+		t.Error("Checkpoint did not change the key; a warm start must never share a cold run's cached result")
+	}
+	if again := (Job{Program: goldenProgram(), Checkpoint: ck}).Key(); again != warm {
+		t.Error("same checkpoint produced different keys")
+	}
+	st2 := &pipeline.CoreState{Cycle: 124}
+	p := goldenProgram()
+	ck2, err := checkpoint.New(checkpoint.Meta{
+		ProgramName:  p.Name,
+		ProgramEntry: p.Entry,
+		Code:         p.Code,
+		WarmScheme:   "unsafe",
+		WarmupInsts:  40,
+	}, st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := (Job{Program: goldenProgram(), Checkpoint: ck2}).Key(); got == warm {
+		t.Error("checkpoints with different captured state produced the same key")
 	}
 }

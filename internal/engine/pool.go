@@ -89,7 +89,13 @@ func (e *Engine) runJob(ctx context.Context, job Job) (sim.Result, error) {
 		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
-	core, err := sim.NewCore(job.Program, job.Config)
+	var core *sim.Core
+	var err error
+	if job.Checkpoint != nil {
+		core, _, err = sim.NewCoreFromCheckpoint(job.Program, job.Config, job.Checkpoint)
+	} else {
+		core, err = sim.NewCore(job.Program, job.Config)
+	}
 	if err != nil {
 		return sim.Result{}, err
 	}

@@ -61,6 +61,17 @@ type Options struct {
 	// metrics. Applied only to engines this sweep creates; a caller
 	// passing its own Engine attaches a registry at engine construction.
 	Metrics *sim.Metrics
+	// WarmupInsts, when positive, warm-starts the matrix: each workload is
+	// simulated once under the unsafe baseline until this many instructions
+	// commit, the complete µarch state is checkpointed, and every
+	// scheme × AP cell forks from that checkpoint instead of replaying the
+	// warmup. Architectural results (and Verify) are unaffected — the
+	// checksum is scheme-invariant — and all cells of a workload share one
+	// warmup, so relative comparisons stay self-consistent; absolute cycle
+	// counts include the warmup drain and differ slightly from a cold
+	// sweep's. Zero disables warm-starting (cold, bit-identical to
+	// previous behaviour).
+	WarmupInsts uint64
 }
 
 // Run executes the experiment matrix: each workload under the unsafe
@@ -77,11 +88,14 @@ func Run(opts Options) (*Matrix, error) {
 	schemes := append([]secure.Scheme{secure.Unsafe}, Schemes...)
 
 	// Build every program up front (cheap, deterministic) and, when
-	// verifying, the reference checksums — in parallel, since the
-	// interpreter runs serially per workload.
+	// verifying or warm-starting, the reference checksums and warmup
+	// checkpoints — in parallel, since the interpreter and the warmup
+	// simulation both run serially per workload.
 	progs := make([]*sim.Program, len(names))
 	refSums := make([]uint64, len(names))
 	refErrs := make([]error, len(names))
+	ckpts := make([]*sim.Checkpoint, len(names))
+	ckErrs := make([]error, len(names))
 	var wg sync.WaitGroup
 	for i, name := range names {
 		w, ok := workload.ByName(name)
@@ -101,9 +115,26 @@ func Run(opts Options) (*Matrix, error) {
 				refSums[i] = ref.Checksum()
 			}(i, name)
 		}
+		if opts.WarmupInsts > 0 {
+			wg.Add(1)
+			go func(i int, name string) {
+				defer wg.Done()
+				ck, err := sim.Snapshot(progs[i], sim.Config{}, opts.WarmupInsts)
+				if err != nil {
+					ckErrs[i] = fmt.Errorf("harness: warming %s: %w", name, err)
+					return
+				}
+				ckpts[i] = ck
+			}(i, name)
+		}
 	}
 	wg.Wait()
 	for _, err := range refErrs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	for _, err := range ckErrs {
 		if err != nil {
 			return nil, err
 		}
@@ -122,8 +153,9 @@ func Run(opts Options) (*Matrix, error) {
 			for _, ap := range []bool{false, true} {
 				cells = append(cells, cell{Key{name, s, ap}, i})
 				jobs = append(jobs, engine.Job{
-					Program: progs[i],
-					Config:  sim.Config{Scheme: s, AddressPrediction: ap},
+					Program:    progs[i],
+					Config:     sim.Config{Scheme: s, AddressPrediction: ap},
+					Checkpoint: ckpts[i],
 				})
 			}
 		}

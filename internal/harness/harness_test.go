@@ -213,3 +213,37 @@ func TestExtensionsAndSensitivityArtifacts(t *testing.T) {
 		t.Error("unknown axis should fail")
 	}
 }
+
+// TestWarmStartMatchesCold pins the warm-start contract: a sweep forked
+// from per-workload checkpoints reaches the same architectural results
+// (checksum and instruction count) as the cold sweep in every cell, and
+// Verify — which compares against the reference interpreter — passes
+// unchanged.
+func TestWarmStartMatchesCold(t *testing.T) {
+	workloads := []string{"matrix_blocked", "tree_search"}
+	cold, err := Run(Options{Scale: workload.ScaleTest, Workloads: workloads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Run(Options{
+		Scale:       workload.ScaleTest,
+		Workloads:   workloads,
+		Verify:      true,
+		WarmupInsts: 5_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, c := range cold.Results {
+		w, ok := warm.Results[k]
+		if !ok {
+			t.Fatalf("warm sweep missing cell %+v", k)
+		}
+		if w.Checksum != c.Checksum {
+			t.Errorf("%+v: architectural divergence: cold %x, warm %x", k, c.Checksum, w.Checksum)
+		}
+		if w.Insts != c.Insts {
+			t.Errorf("%+v: committed %d cold vs %d warm", k, c.Insts, w.Insts)
+		}
+	}
+}

@@ -18,6 +18,14 @@ type Config struct {
 	// Mutation plants a deliberate weakening of the scheme's protection
 	// (mutation mode only; MutNone for real checking).
 	Mutation secure.Mutation
+	// WarmupInsts, when positive, routes each gadget run through the
+	// checkpoint subsystem: warm this many instructions under the target
+	// scheme, snapshot, restore, and run the remainder from the
+	// checkpoint. Both halves of a differential pair get the identical
+	// treatment, so the within-pair digest comparison — the leak oracle —
+	// is unchanged; what this sweeps for is divergence *introduced by*
+	// snapshot/restore itself.
+	WarmupInsts uint64
 }
 
 // String renders the config as e.g. "dom+ap" or "stt!stt-no-taint".
@@ -93,17 +101,30 @@ func Check(ctx context.Context, p Params, cfg Config) (*Leak, error) {
 }
 
 // digestOf builds the gadget with one secret and runs it to completion,
-// returning the final micro-architectural digest.
+// returning the final micro-architectural digest. With WarmupInsts set the
+// run goes through snapshot/restore midway instead of straight-line; both
+// secrets of a pair take the same path, so digests stay comparable.
 func digestOf(ctx context.Context, p Params, cfg Config, secret uint8) (sim.MicroDigest, error) {
 	core := sim.DefaultCoreConfig()
 	core.Mutation = cfg.Mutation
-	var d sim.MicroDigest
-	_, err := sim.RunContext(ctx, p.Build(secret), sim.Config{
+	prog := p.Build(secret)
+	simCfg := sim.Config{
 		Scheme:            cfg.Scheme,
 		AddressPrediction: cfg.AP,
 		MaxCycles:         defaultMaxCycles,
 		Core:              &core,
-	}, sim.WithMicroArchDigest(&d))
+	}
+	var d sim.MicroDigest
+	var err error
+	if cfg.WarmupInsts > 0 {
+		var ck *sim.Checkpoint
+		ck, err = sim.Snapshot(prog, simCfg, cfg.WarmupInsts)
+		if err == nil {
+			_, err = sim.RunFromCheckpoint(ctx, prog, simCfg, ck, sim.WithMicroArchDigest(&d))
+		}
+	} else {
+		_, err = sim.RunContext(ctx, prog, simCfg, sim.WithMicroArchDigest(&d))
+	}
 	if err != nil {
 		return sim.MicroDigest{}, fmt.Errorf("leakcheck: %s secret=0x%02x: %w", p, secret, err)
 	}

@@ -271,3 +271,40 @@ func TestConfigString(t *testing.T) {
 		t.Error("mutated DoM should not be Secure")
 	}
 }
+
+// TestCheckpointSweepSecureSchemes is the checkpoint subsystem's security
+// assertion: routing every gadget run through snapshot/restore midway
+// (warm under the target scheme, capture, fork, finish) must stay
+// 0-divergent for every intact secure scheme across 256 seeds — i.e. the
+// checkpoint path itself introduces no attacker-observable divergence. The
+// unsafe baseline is swept too, as the non-vacuousness control: the warm
+// oracle must still see its leaks.
+func TestCheckpointSweepSecureSchemes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("256-seed checkpoint sweep skipped in -short mode")
+	}
+	const (
+		seeds  = 256
+		warmup = 200 // lands mid-gadget: transient window straddles the restore
+	)
+	cfgs := DefaultConfigs()
+	for i := range cfgs {
+		cfgs[i].WarmupInsts = warmup
+	}
+	res, err := Sweep(context.Background(), cfgs, 0, seeds, runtime.GOMAXPROCS(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Config.Secure() && len(r.Leaks) > 0 {
+			sl := r.Leaks[0]
+			t.Errorf("checkpoint path leaks: %d/%d seeds diverge under %s (first: seed %d via %v)",
+				len(r.Leaks), r.Seeds, r.Config, sl.Seed, sl.Leak.Components)
+			t.Logf("reproduce: seed %d under %s with WarmupInsts=%d\n%s",
+				sl.Seed, r.Config, warmup, sl.Leak.Params.Disassemble())
+		}
+		if !r.Config.Secure() && len(r.Leaks) == 0 {
+			t.Errorf("VACUOUS: warm-started %s leaked on 0/%d seeds — the oracle saw nothing", r.Config, r.Seeds)
+		}
+	}
+}

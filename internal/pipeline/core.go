@@ -71,6 +71,9 @@ type Core struct {
 	fetchPC     uint64
 	fetchBuf    []fetched
 	haltFetched bool
+	// fetchStalled suppresses fetch entirely; Drain uses it to let the
+	// in-flight window complete without admitting new instructions.
+	fetchStalled bool
 	// fetchHist is the speculative global branch history (gshare only),
 	// repaired on every squash.
 	fetchHist uint64

@@ -11,7 +11,7 @@ import (
 // (wrong) paths until the branch resolves and squashes — wrong-path
 // instructions really execute and really touch the caches.
 func (c *Core) fetch() {
-	if c.haltFetched {
+	if c.haltFetched || c.fetchStalled {
 		return
 	}
 	limit := 2 * c.cfg.DecodeWidth

@@ -1,0 +1,194 @@
+package pipeline
+
+import (
+	"strings"
+	"testing"
+
+	"doppelganger/internal/secure"
+)
+
+// drainedCore runs sumLoop partway under cfg and drains it to quiescence.
+func drainedCore(t *testing.T, cfg Config) *Core {
+	t.Helper()
+	c, err := New(cfg, sumLoop(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(100, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestDrainQuiesces(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = secure.DoM
+	cfg.AddressPrediction = true
+	c := drainedCore(t, cfg)
+	if err := c.quiescent(); err != nil {
+		t.Fatalf("core not quiescent after Drain: %v", err)
+	}
+	// Fetch was re-enabled: the core runs on to the architectural result.
+	ref := referenceState(t)
+	if err := c.Run(0, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.ArchState().Checksum(); got != ref {
+		t.Errorf("post-drain run diverged: checksum %x, want %x", got, ref)
+	}
+}
+
+func referenceState(t *testing.T) uint64 {
+	t.Helper()
+	c, err := New(DefaultConfig(), sumLoop(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(0, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return c.ArchState().Checksum()
+}
+
+func TestDrainBudgetIsEnforced(t *testing.T) {
+	c, err := New(DefaultConfig(), sumLoop(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(100, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	// Something is in flight right after an instruction-bounded stop
+	// (fetch runs ahead of commit); a one-cycle budget cannot drain it.
+	if c.rob.len() == 0 && len(c.fetchBuf) == 0 {
+		t.Skip("window happened to be empty at the stop point")
+	}
+	if err := c.Drain(1); err == nil {
+		t.Error("Drain(1) succeeded with instructions in flight")
+	} else if !strings.Contains(err.Error(), "quiesce") {
+		t.Errorf("unhelpful drain-budget error: %v", err)
+	}
+}
+
+func TestCaptureRefusesNonQuiescent(t *testing.T) {
+	c, err := New(DefaultConfig(), sumLoop(200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(100, 1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if c.rob.len() == 0 && len(c.fetchBuf) == 0 {
+		t.Skip("window happened to be empty at the stop point")
+	}
+	if _, err := c.CaptureState(); err == nil {
+		t.Error("CaptureState succeeded on a non-quiescent core")
+	} else if !strings.Contains(err.Error(), "quiescent") {
+		t.Errorf("unhelpful capture error: %v", err)
+	}
+}
+
+// TestCaptureRestoreRoundTrip is the core equivalence property at the
+// pipeline layer: capture a drained core, rebuild from the snapshot, and
+// both must reach an identical architectural result — and identical Stats,
+// since the restored core carries the warmup's counters forward.
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheme = secure.STT
+	cfg.AddressPrediction = true
+	prog := sumLoop(200)
+	orig := drainedCore(t, cfg)
+	st, err := orig.CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := NewFromState(cfg, prog, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Cycle() != orig.Cycle() {
+		t.Errorf("restored cycle %d, want %d", restored.Cycle(), orig.Cycle())
+	}
+	if err := orig.Run(0, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Run(0, 50_000_000); err != nil {
+		t.Fatal(err)
+	}
+	a, b := orig.ArchState(), restored.ArchState()
+	if a.Checksum() != b.Checksum() {
+		t.Errorf("architectural divergence after restore: %x vs %x", a.Checksum(), b.Checksum())
+	}
+	if orig.Stats != restored.Stats {
+		t.Errorf("stats diverged after restore:\noriginal %+v\nrestored %+v", orig.Stats, restored.Stats)
+	}
+}
+
+func TestRestoreRejectsStructuralMismatch(t *testing.T) {
+	cfg := DefaultConfig()
+	st, err := drainedCore(t, cfg).CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bad := DefaultConfig()
+	bad.Memory.L1D.Ways *= 2
+	if _, err := NewFromState(bad, sumLoop(200), st); err == nil {
+		t.Error("restore accepted a core with different L1D geometry")
+	}
+
+	bad = DefaultConfig()
+	bad.Stride.Entries *= 2
+	if _, err := NewFromState(bad, sumLoop(200), st); err == nil {
+		t.Error("restore accepted a core with a different stride table size")
+	}
+}
+
+func TestRestoreRejectsMalformedState(t *testing.T) {
+	cfg := DefaultConfig()
+	st, err := drainedCore(t, cfg).CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	short := *st
+	short.CommittedPC = st.CommittedPC[:len(st.CommittedPC)-1]
+	if _, err := NewFromState(cfg, sumLoop(200), &short); err == nil {
+		t.Error("restore accepted a committed-PC table of the wrong length")
+	}
+
+	noHier := *st
+	noHier.Hier = nil
+	if _, err := NewFromState(cfg, sumLoop(200), &noHier); err == nil {
+		t.Error("restore accepted a snapshot with no memory hierarchy")
+	}
+}
+
+// TestRestoreAcrossSchemes pins the forking property at the pipeline
+// layer: state captured under one scheme restores under another and still
+// reaches the same architectural result.
+func TestRestoreAcrossSchemes(t *testing.T) {
+	warm := DefaultConfig() // unsafe baseline
+	st, err := drainedCore(t, warm).CaptureState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := referenceState(t)
+	for _, scheme := range []secure.Scheme{secure.DoM, secure.STT, secure.NDAP} {
+		cfg := DefaultConfig()
+		cfg.Scheme = scheme
+		c, err := NewFromState(cfg, sumLoop(200), st)
+		if err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if err := c.Run(0, 50_000_000); err != nil {
+			t.Fatalf("%v: %v", scheme, err)
+		}
+		if got := c.ArchState().Checksum(); got != ref {
+			t.Errorf("%v: architectural divergence: %x, want %x", scheme, got, ref)
+		}
+	}
+}

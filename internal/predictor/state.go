@@ -1,0 +1,342 @@
+package predictor
+
+import "fmt"
+
+// This file defines the serializable snapshot of every predictor, used by
+// the checkpoint subsystem. Each State carries the configuration it was
+// captured under and an exact, deterministic image of the table — every
+// way, valid or not, in row-major set order, including the LRU clocks —
+// so a restored predictor is bit-identical to the captured one and a
+// restored run trains and evicts exactly like the straight-line run.
+//
+// Restore refuses a state captured under a different configuration: a
+// checkpoint never silently reshapes a table.
+
+// StrideEntryState is one stride-table way.
+type StrideEntryState struct {
+	PC         uint64 `json:"pc"`
+	Valid      bool   `json:"valid,omitempty"`
+	LastAddr   uint64 `json:"last_addr,omitempty"`
+	Stride     int64  `json:"stride,omitempty"`
+	Confidence int    `json:"confidence,omitempty"`
+	LastUse    uint64 `json:"last_use,omitempty"`
+}
+
+// StrideState is a complete stride-table snapshot.
+type StrideState struct {
+	Config      StrideConfig       `json:"config"`
+	Entries     []StrideEntryState `json:"entries"` // row-major, len = Config.Entries
+	Clock       uint64             `json:"clock"`
+	Trainings   uint64             `json:"trainings"`
+	Allocations uint64             `json:"allocations"`
+}
+
+// State captures the table.
+func (s *Stride) State() *StrideState {
+	st := &StrideState{
+		Config:      s.cfg,
+		Entries:     make([]StrideEntryState, 0, s.cfg.Entries),
+		Clock:       s.clock,
+		Trainings:   s.Trainings,
+		Allocations: s.Allocations,
+	}
+	for _, set := range s.sets {
+		for _, e := range set {
+			st.Entries = append(st.Entries, StrideEntryState{
+				PC: e.pc, Valid: e.valid, LastAddr: e.lastAddr,
+				Stride: e.stride, Confidence: e.confidence, LastUse: e.lastUse,
+			})
+		}
+	}
+	return st
+}
+
+// Restore overwrites the table with a captured state. The state must have
+// been captured under an identical configuration.
+func (s *Stride) Restore(st *StrideState) error {
+	if st.Config != s.cfg {
+		return fmt.Errorf("stride predictor: checkpoint config %+v does not match this core's %+v", st.Config, s.cfg)
+	}
+	if len(st.Entries) != s.cfg.Entries {
+		return fmt.Errorf("stride predictor: checkpoint has %d entries, table holds %d", len(st.Entries), s.cfg.Entries)
+	}
+	i := 0
+	for _, set := range s.sets {
+		for w := range set {
+			e := st.Entries[i]
+			set[w] = strideEntry{
+				pc: e.PC, valid: e.Valid, lastAddr: e.LastAddr,
+				stride: e.Stride, confidence: e.Confidence, lastUse: e.LastUse,
+			}
+			i++
+		}
+	}
+	s.clock = st.Clock
+	s.Trainings = st.Trainings
+	s.Allocations = st.Allocations
+	return nil
+}
+
+// ContextEntryState is one context-table way.
+type ContextEntryState struct {
+	Key        uint64 `json:"key"`
+	Valid      bool   `json:"valid,omitempty"`
+	ToAddr     uint64 `json:"to_addr,omitempty"`
+	Confidence int    `json:"confidence,omitempty"`
+	LastUse    uint64 `json:"last_use,omitempty"`
+}
+
+// ContextLastState is one entry of the per-PC last-committed-address map,
+// serialized as a sorted slice so the encoding is deterministic.
+type ContextLastState struct {
+	PC   uint64 `json:"pc"`
+	Addr uint64 `json:"addr"`
+}
+
+// ContextState is a complete context-predictor snapshot.
+type ContextState struct {
+	Config    ContextConfig       `json:"config"`
+	Entries   []ContextEntryState `json:"entries"`
+	Last      []ContextLastState  `json:"last"` // sorted by PC
+	Clock     uint64              `json:"clock"`
+	Trainings uint64              `json:"trainings"`
+}
+
+// State captures the predictor.
+func (c *Context) State() *ContextState {
+	st := &ContextState{
+		Config:    c.cfg,
+		Entries:   make([]ContextEntryState, 0, c.cfg.Entries),
+		Last:      make([]ContextLastState, 0, len(c.last)),
+		Clock:     c.clock,
+		Trainings: c.Trainings,
+	}
+	for _, set := range c.sets {
+		for _, e := range set {
+			st.Entries = append(st.Entries, ContextEntryState{
+				Key: e.key, Valid: e.valid, ToAddr: e.toAddr,
+				Confidence: e.confidence, LastUse: e.lastUse,
+			})
+		}
+	}
+	for pc, a := range c.last {
+		st.Last = append(st.Last, ContextLastState{PC: pc, Addr: a})
+	}
+	sortLast(st.Last)
+	return st
+}
+
+func sortLast(s []ContextLastState) {
+	// Insertion sort: the per-PC map is small (distinct load PCs in the
+	// program) and this avoids importing sort for one call site.
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1].PC > s[j].PC; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// Restore overwrites the predictor with a captured state.
+func (c *Context) Restore(st *ContextState) error {
+	if st.Config != c.cfg {
+		return fmt.Errorf("context predictor: checkpoint config %+v does not match this core's %+v", st.Config, c.cfg)
+	}
+	if len(st.Entries) != c.cfg.Entries {
+		return fmt.Errorf("context predictor: checkpoint has %d entries, table holds %d", len(st.Entries), c.cfg.Entries)
+	}
+	i := 0
+	for _, set := range c.sets {
+		for w := range set {
+			e := st.Entries[i]
+			set[w] = contextEntry{
+				key: e.Key, valid: e.Valid, toAddr: e.ToAddr,
+				confidence: e.Confidence, lastUse: e.LastUse,
+			}
+			i++
+		}
+	}
+	c.last = make(map[uint64]uint64, len(st.Last))
+	for _, l := range st.Last {
+		c.last[l.PC] = l.Addr
+	}
+	c.clock = st.Clock
+	c.Trainings = st.Trainings
+	return nil
+}
+
+// BimodalState is a complete bimodal-predictor snapshot. Counters is the
+// raw 2-bit counter array (one byte each; json marshals []byte as base64).
+type BimodalState struct {
+	Entries     int    `json:"entries"`
+	Counters    []byte `json:"counters"`
+	Predictions uint64 `json:"predictions"`
+}
+
+// State captures the predictor.
+func (b *Bimodal) State() *BimodalState {
+	st := &BimodalState{
+		Entries:     len(b.counters),
+		Counters:    make([]byte, len(b.counters)),
+		Predictions: b.Predictions,
+	}
+	copy(st.Counters, b.counters)
+	return st
+}
+
+// Restore overwrites the predictor with a captured state.
+func (b *Bimodal) Restore(st *BimodalState) error {
+	if st.Entries != len(b.counters) || len(st.Counters) != len(b.counters) {
+		return fmt.Errorf("bimodal predictor: checkpoint has %d counters, table holds %d", len(st.Counters), len(b.counters))
+	}
+	copy(b.counters, st.Counters)
+	b.Predictions = st.Predictions
+	return nil
+}
+
+// GShareState is a complete gshare snapshot. The core's speculative and
+// architectural history registers live in the core's own state, not here.
+type GShareState struct {
+	Config   GShareConfig `json:"config"`
+	Counters []byte       `json:"counters"`
+}
+
+// State captures the predictor.
+func (g *GShare) State() *GShareState {
+	st := &GShareState{
+		Config: GShareConfig{
+			Entries:     len(g.counters),
+			HistoryBits: histBits(g.histMask),
+		},
+		Counters: make([]byte, len(g.counters)),
+	}
+	copy(st.Counters, g.counters)
+	return st
+}
+
+func histBits(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		n++
+		mask >>= 1
+	}
+	return n
+}
+
+// Restore overwrites the predictor with a captured state.
+func (g *GShare) Restore(st *GShareState) error {
+	if st.Config.Entries != len(g.counters) || uint64(1)<<uint(st.Config.HistoryBits)-1 != g.histMask {
+		return fmt.Errorf("gshare predictor: checkpoint config %+v does not match this core's %d entries / mask %#x",
+			st.Config, len(g.counters), g.histMask)
+	}
+	if len(st.Counters) != len(g.counters) {
+		return fmt.Errorf("gshare predictor: checkpoint has %d counters, table holds %d", len(st.Counters), len(g.counters))
+	}
+	copy(g.counters, st.Counters)
+	return nil
+}
+
+// ValueEntryState is one value-table way.
+type ValueEntryState struct {
+	PC         uint64 `json:"pc"`
+	Valid      bool   `json:"valid,omitempty"`
+	LastValue  int64  `json:"last_value,omitempty"`
+	Stride     int64  `json:"stride,omitempty"`
+	Confidence int    `json:"confidence,omitempty"`
+	LastUse    uint64 `json:"last_use,omitempty"`
+}
+
+// ValueState is a complete value-predictor snapshot.
+type ValueState struct {
+	Config    ValueConfig       `json:"config"`
+	Entries   []ValueEntryState `json:"entries"`
+	Clock     uint64            `json:"clock"`
+	Trainings uint64            `json:"trainings"`
+}
+
+// State captures the predictor.
+func (v *Value) State() *ValueState {
+	st := &ValueState{
+		Config:    v.cfg,
+		Entries:   make([]ValueEntryState, 0, v.cfg.Entries),
+		Clock:     v.clock,
+		Trainings: v.Trainings,
+	}
+	for _, set := range v.sets {
+		for _, e := range set {
+			st.Entries = append(st.Entries, ValueEntryState{
+				PC: e.pc, Valid: e.valid, LastValue: e.lastValue,
+				Stride: e.stride, Confidence: e.confidence, LastUse: e.lastUse,
+			})
+		}
+	}
+	return st
+}
+
+// Restore overwrites the predictor with a captured state.
+func (v *Value) Restore(st *ValueState) error {
+	if st.Config != v.cfg {
+		return fmt.Errorf("value predictor: checkpoint config %+v does not match this core's %+v", st.Config, v.cfg)
+	}
+	if len(st.Entries) != v.cfg.Entries {
+		return fmt.Errorf("value predictor: checkpoint has %d entries, table holds %d", len(st.Entries), v.cfg.Entries)
+	}
+	i := 0
+	for _, set := range v.sets {
+		for w := range set {
+			e := st.Entries[i]
+			set[w] = valueEntry{
+				pc: e.PC, valid: e.Valid, lastValue: e.LastValue,
+				stride: e.Stride, confidence: e.Confidence, lastUse: e.LastUse,
+			}
+			i++
+		}
+	}
+	v.clock = st.Clock
+	v.Trainings = st.Trainings
+	return nil
+}
+
+// StoreSetsEntryState is one store-set table slot.
+type StoreSetsEntryState struct {
+	PC    uint64 `json:"pc"`
+	Valid bool   `json:"valid,omitempty"`
+	Set   uint32 `json:"set,omitempty"`
+}
+
+// StoreSetsState is a complete store-set predictor snapshot.
+type StoreSetsState struct {
+	Config      StoreSetsConfig       `json:"config"`
+	Table       []StoreSetsEntryState `json:"table"`
+	NextSet     uint32                `json:"next_set"`
+	Assignments uint64                `json:"assignments"`
+}
+
+// State captures the predictor.
+func (s *StoreSets) State() *StoreSetsState {
+	st := &StoreSetsState{
+		Config:      s.cfg,
+		Table:       make([]StoreSetsEntryState, len(s.table)),
+		NextSet:     s.nextSet,
+		Assignments: s.Assignments,
+	}
+	for i, e := range s.table {
+		st.Table[i] = StoreSetsEntryState{PC: e.pc, Valid: e.valid, Set: e.set}
+	}
+	return st
+}
+
+// Restore overwrites the predictor with a captured state.
+func (s *StoreSets) Restore(st *StoreSetsState) error {
+	if st.Config != s.cfg {
+		return fmt.Errorf("store sets: checkpoint config %+v does not match this core's %+v", st.Config, s.cfg)
+	}
+	if len(st.Table) != len(s.table) {
+		return fmt.Errorf("store sets: checkpoint has %d slots, table holds %d", len(st.Table), len(s.table))
+	}
+	for i, e := range st.Table {
+		s.table[i] = ssEntry{pc: e.PC, valid: e.Valid, set: e.Set}
+	}
+	s.nextSet = st.NextSet
+	s.Assignments = st.Assignments
+	return nil
+}

@@ -92,6 +92,15 @@ func (t *ShadowTracker) Frontier() (uint64, bool) {
 // Outstanding returns the number of unresolved shadows.
 func (t *ShadowTracker) Outstanding() int { return len(t.seqs) }
 
+// SetCensus overwrites the observability census. Used when a core is
+// rebuilt from a checkpoint: the tracker itself must be empty (the core
+// drains to quiescence before snapshotting), but the lifetime counters
+// carry across so restored-run stats match a straight-line run.
+func (t *ShadowTracker) SetCensus(opened uint64, peak int) {
+	t.opened = opened
+	t.peak = peak
+}
+
 // Reset clears all shadows and the observability census.
 func (t *ShadowTracker) Reset() {
 	t.seqs = t.seqs[:0]

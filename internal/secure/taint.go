@@ -60,6 +60,11 @@ func (t *TaintTracker) SetCombined(dst int, srcs ...int) {
 // non-zero taint root (observability census).
 func (t *TaintTracker) TaintedWrites() uint64 { return t.writes }
 
+// SetWrites overwrites the tainted-write census. Used when a core is
+// rebuilt from a checkpoint so restored-run stats match a straight-line
+// run; taint roots themselves are empty at a quiescent snapshot point.
+func (t *TaintTracker) SetWrites(n uint64) { t.writes = n }
+
 // Clear untaints a register (e.g. when it is rewritten by a non-load with
 // untainted sources, or freed).
 func (t *TaintTracker) Clear(r int) { t.root[r] = 0 }

@@ -1,0 +1,56 @@
+#!/bin/sh
+# Checkpoint warm-start smoke: warm one workload once, snapshot it, then
+# restore the snapshot under every scheme (with and without doppelganger
+# loads) and assert each warm run reaches the same architectural checksum as
+# the straight-line cold run of that cell. Also asserts the file format's
+# refusal discipline: a corrupted checkpoint must be rejected, not restored.
+# Used by `make checkpoint-smoke` and CI.
+set -eu
+
+WORKLOAD="${CKPT_SMOKE_WORKLOAD:-stream}"
+WARMUP="${CKPT_SMOKE_WARMUP:-5000}"
+
+DIR="$(mktemp -d)"
+trap 'rm -rf "$DIR"' EXIT
+BIN="$DIR/doppelsim"
+CKPT="$DIR/${WORKLOAD}.dgck"
+
+go build -o "$BIN" ./cmd/doppelsim
+
+"$BIN" -workload "$WORKLOAD" -scale test -checkpoint-out "$CKPT" -warmup-insts "$WARMUP"
+
+# Architectural checksum of one cell's JSON result.
+checksum() {
+    sed -n 's/.*"Checksum": \([0-9][0-9]*\).*/\1/p' | head -1
+}
+
+CELLS=0
+for scheme in unsafe nda-p stt dom; do
+    for ap in "" "-ap"; do
+        # shellcheck disable=SC2086 — $ap is deliberately word-split.
+        cold=$("$BIN" -workload "$WORKLOAD" -scale test -scheme "$scheme" $ap -json | checksum)
+        warm=$("$BIN" -checkpoint-in "$CKPT" -scheme "$scheme" $ap -json | checksum)
+        if [ -z "$cold" ] || [ "$cold" != "$warm" ]; then
+            echo "checkpoint-smoke: FAIL: $WORKLOAD/$scheme$ap cold checksum '$cold' != warm '$warm'" >&2
+            exit 1
+        fi
+        CELLS=$((CELLS + 1))
+    done
+done
+
+# A corrupted checkpoint must be refused with a clear error.
+CORRUPT="$DIR/corrupt.dgck"
+cp "$CKPT" "$CORRUPT"
+# Flip one payload byte past the header.
+printf '\377' | dd of="$CORRUPT" bs=1 seek=64 count=1 conv=notrunc 2>/dev/null
+if "$BIN" -checkpoint-in "$CORRUPT" -scheme dom -json >/dev/null 2>"$DIR/err"; then
+    echo "checkpoint-smoke: FAIL: corrupted checkpoint was accepted" >&2
+    exit 1
+fi
+grep -qi "checkpoint" "$DIR/err" || {
+    echo "checkpoint-smoke: FAIL: corruption error does not mention the checkpoint:" >&2
+    cat "$DIR/err" >&2
+    exit 1
+}
+
+echo "checkpoint-smoke: ok ($WORKLOAD warmed once at $WARMUP insts; $CELLS scheme cells checksum-identical warm vs cold; corrupt file refused)"

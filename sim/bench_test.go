@@ -56,3 +56,23 @@ func BenchmarkRunWithMetrics(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkRunFromCheckpoint measures the warm-start path: restore from a
+// mid-run snapshot and finish. The snapshot itself is taken once outside
+// the loop, matching how the harness amortizes one warmup across every
+// scheme cell.
+func BenchmarkRunFromCheckpoint(b *testing.B) {
+	p := benchProgram(b)
+	cfg := sim.Config{Scheme: sim.DoM, AddressPrediction: true}
+	ck, err := sim.Snapshot(p, cfg, 10_000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.RunFromCheckpoint(context.Background(), p, cfg, ck); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

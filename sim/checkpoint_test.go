@@ -1,0 +1,291 @@
+package sim_test
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+
+	"doppelganger/internal/obs"
+	"doppelganger/internal/workload"
+	"doppelganger/sim"
+)
+
+// checkpointWarmup is the commit count the tests snapshot at. Small enough
+// that every ScaleTest workload still has work left after it, large enough
+// to leave real state in the caches and predictors.
+const checkpointWarmup = 5_000
+
+func testProgram(t *testing.T, name string) *sim.Program {
+	t.Helper()
+	w, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown workload %q", name)
+	}
+	return w.Build(workload.ScaleTest)
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	p := testProgram(t, "stream")
+	ck, err := sim.Snapshot(p, sim.Config{}, checkpointWarmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Digest() == "" || len(ck.Digest()) != 64 {
+		t.Fatalf("bad digest %q", ck.Digest())
+	}
+	dec, err := sim.DecodeCheckpoint(ck.Encode())
+	if err != nil {
+		t.Fatalf("decoding our own encoding: %v", err)
+	}
+	if dec.Digest() != ck.Digest() {
+		t.Fatalf("digest changed across encode/decode: %s vs %s", dec.Digest(), ck.Digest())
+	}
+	if got := ck.Meta().WarmupInsts; got != checkpointWarmup {
+		t.Errorf("meta warmup insts = %d, want %d", got, checkpointWarmup)
+	}
+	if st := ck.State(); st.Stats.Committed < checkpointWarmup {
+		t.Errorf("checkpoint committed %d insts, want >= %d", st.Stats.Committed, checkpointWarmup)
+	}
+
+	// A decoded checkpoint must restore identically to the original.
+	a, err := sim.RunFromCheckpoint(context.Background(), p, sim.Config{Scheme: sim.DoM, AddressPrediction: true}, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sim.RunFromCheckpoint(context.Background(), nil, sim.Config{Scheme: sim.DoM, AddressPrediction: true}, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum || a.Cycles != b.Cycles || a.Insts != b.Insts {
+		t.Errorf("original and decoded checkpoints diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSnapshotRejectsZeroWarmup(t *testing.T) {
+	if _, err := sim.Snapshot(testProgram(t, "stream"), sim.Config{}, 0); err == nil {
+		t.Fatal("Snapshot(0) should be rejected")
+	}
+}
+
+func TestRunFromCheckpointIncompatibleProgram(t *testing.T) {
+	ck, err := sim.Snapshot(testProgram(t, "stream"), sim.Config{}, checkpointWarmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := testProgram(t, "pointer_chase")
+	if _, err := sim.RunFromCheckpoint(context.Background(), other, sim.Config{}, ck); err == nil {
+		t.Fatal("restoring a checkpoint into a different program should be rejected")
+	} else if !strings.Contains(err.Error(), "checkpoint") {
+		t.Fatalf("unhelpful incompatibility error: %v", err)
+	}
+}
+
+// TestRunFromCheckpointBoundedInsts pins the composition rule: MaxInsts
+// after a restore counts total committed instructions including warmup,
+// so a bounded warm-started run stops at the same architectural point as
+// the bounded straight-line run.
+func TestRunFromCheckpointBoundedInsts(t *testing.T) {
+	p := testProgram(t, "stream")
+	const bound = 20_000
+	cfg := sim.Config{Scheme: sim.STT, MaxInsts: bound}
+	straight, err := sim.Run(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := sim.Snapshot(p, sim.Config{}, checkpointWarmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sim.RunFromCheckpoint(context.Background(), p, cfg, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if straight.Checksum != warm.Checksum {
+		t.Errorf("bounded runs diverged architecturally: straight %x, warm %x", straight.Checksum, warm.Checksum)
+	}
+	if straight.Insts < bound || warm.Insts < bound {
+		t.Errorf("bounds not reached: straight %d, warm %d insts", straight.Insts, warm.Insts)
+	}
+}
+
+// TestRunFromCheckpointEquivalenceMatrix is the tentpole's acceptance
+// proof: across the full workload × scheme × ±AP matrix (168 cells), a
+// run warmed once under the unsafe baseline and forked from the
+// checkpoint produces a Result.Checksum identical to the straight-line
+// run. The checksum digests final architectural state, which is
+// scheme-invariant — so one warmup seeds every cell.
+func TestRunFromCheckpointEquivalenceMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-matrix equivalence proof skipped in -short mode")
+	}
+	names := workload.Names()
+	schemes := sim.AllSchemes()
+	if cells := len(names) * len(schemes) * 2; cells != 168 {
+		t.Logf("matrix is %d cells (suite changed size; still proving all of them)", cells)
+	}
+
+	// Warm every workload once, in parallel, under the unsafe baseline.
+	ckpts := make(map[string]*sim.Checkpoint, len(names))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, name := range names {
+		wg.Add(1)
+		go func(name string) {
+			defer wg.Done()
+			ck, err := sim.Snapshot(testProgram(t, name), sim.Config{}, checkpointWarmup)
+			if err != nil {
+				t.Errorf("warming %s: %v", name, err)
+				return
+			}
+			mu.Lock()
+			ckpts[name] = ck
+			mu.Unlock()
+		}(name)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	type cell struct {
+		wl     string
+		scheme sim.Scheme
+		ap     bool
+	}
+	var cells []cell
+	for _, name := range names {
+		for _, sc := range schemes {
+			for _, ap := range []bool{false, true} {
+				cells = append(cells, cell{name, sc, ap})
+			}
+		}
+	}
+	work := make(chan cell)
+	workers := runtime.NumCPU()
+	if workers < 2 {
+		workers = 2
+	}
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range work {
+				cfg := sim.Config{Scheme: c.scheme, AddressPrediction: c.ap}
+				p := testProgram(t, c.wl)
+				straight, err := sim.Run(p, cfg)
+				if err != nil {
+					t.Errorf("%s/%v/ap=%v straight-line: %v", c.wl, c.scheme, c.ap, err)
+					continue
+				}
+				warm, err := sim.RunFromCheckpoint(context.Background(), p, cfg, ckpts[c.wl])
+				if err != nil {
+					t.Errorf("%s/%v/ap=%v from checkpoint: %v", c.wl, c.scheme, c.ap, err)
+					continue
+				}
+				if straight.Checksum != warm.Checksum {
+					t.Errorf("%s/%v/ap=%v: architectural divergence: straight %x, warm %x",
+						c.wl, c.scheme, c.ap, straight.Checksum, warm.Checksum)
+				}
+				if straight.Insts != warm.Insts {
+					t.Errorf("%s/%v/ap=%v: committed %d straight vs %d warm",
+						c.wl, c.scheme, c.ap, straight.Insts, warm.Insts)
+				}
+			}
+		}()
+	}
+	for _, c := range cells {
+		work <- c
+	}
+	close(work)
+	wg.Wait()
+}
+
+// TestRunFromCheckpointTracedEquivalence covers restore under
+// observability: a traced warm-started run emits the same metric families
+// as a traced straight-line run, never emits an event from before the
+// restore point (no phantom warmup events, including through the batched
+// flush path), and tracing does not perturb the simulation.
+func TestRunFromCheckpointTracedEquivalence(t *testing.T) {
+	p := testProgram(t, "stream")
+	cfg := sim.Config{Scheme: sim.DoM, AddressPrediction: true}
+
+	straightMet := sim.NewMetrics()
+	straightSink := obs.NewCountingSink(nil)
+	straight, err := sim.RunContext(context.Background(), p, cfg,
+		sim.WithTracer(straightSink), sim.WithMetrics(straightMet))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck, err := sim.Snapshot(p, sim.Config{}, checkpointWarmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckptCycle := ck.State().Cycle
+
+	ring := obs.NewRingSink(1 << 20)
+	warmMet := sim.NewMetrics()
+	warmSink := obs.NewCountingSink(ring)
+	warm, err := sim.RunFromCheckpoint(context.Background(), p, cfg, ck,
+		sim.WithTracer(warmSink), sim.WithMetrics(warmMet))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tracing is passive: the traced warm run matches an untraced one.
+	plain, err := sim.RunFromCheckpoint(context.Background(), p, cfg, ck)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Checksum != plain.Checksum || warm.Cycles != plain.Cycles {
+		t.Errorf("tracing perturbed the warm run: traced %+v, untraced %+v", warm, plain)
+	}
+	if warm.Checksum != straight.Checksum {
+		t.Errorf("architectural divergence: straight %x, warm %x", straight.Checksum, warm.Checksum)
+	}
+
+	// No phantom warmup events: everything the restored run emitted is
+	// stamped after the checkpoint cycle. The ring holds the tail of the
+	// stream (including the final batched flush), which is exactly where
+	// late duplicate emission would land.
+	if warmSink.Total() == 0 {
+		t.Fatal("traced warm run emitted no events")
+	}
+	if warmSink.Total() >= straightSink.Total() {
+		t.Errorf("warm run emitted %d events, straight-line only %d — warmup events duplicated?",
+			warmSink.Total(), straightSink.Total())
+	}
+	for _, e := range ring.Events() {
+		if e.Cycle <= ckptCycle {
+			t.Fatalf("phantom pre-restore event at cycle %d (checkpoint cycle %d): %+v", e.Cycle, ckptCycle, e)
+		}
+	}
+
+	// Same metric families, warm and straight.
+	if got, want := familyNames(t, warmMet), familyNames(t, straightMet); got != want {
+		t.Errorf("metric families diverged:\nwarm:     %s\nstraight: %s", got, want)
+	}
+}
+
+func familyNames(t *testing.T, m *sim.Metrics) string {
+	t.Helper()
+	var b strings.Builder
+	if err := m.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	seen := map[string]bool{}
+	for _, line := range strings.Split(b.String(), "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		name := strings.Fields(line)[2]
+		if !seen[name] {
+			seen[name] = true
+			names = append(names, name)
+		}
+	}
+	return strings.Join(names, ",")
+}
