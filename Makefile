@@ -11,7 +11,8 @@ BENCH_THRESHOLD ?= 1.10
 ALLOC_THRESHOLD ?= 1.10
 
 .PHONY: build test vet race staticcheck check cover fmt figures smoke \
-	cluster-smoke checkpoint-smoke bench benchcheck benchbaseline leakcheck
+	cluster-smoke checkpoint-smoke bench benchcheck benchbaseline leakcheck \
+	contract-matrix contract-matrix-update
 
 build:
 	$(GO) build ./...
@@ -36,7 +37,7 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
-check: vet staticcheck race cover
+check: vet staticcheck race cover contract-matrix
 
 # Coverage gate: run the full suite with a merged statement-coverage profile
 # and fail when the total drops below COVER_MIN.
@@ -71,6 +72,19 @@ bench:
 # gauntlet; `cmd/leakcheck -h` documents the flags.
 leakcheck:
 	$(GO) run ./cmd/leakcheck -seeds 256
+
+# Contract-matrix gate: evaluate the full observer lattice per scheme and
+# diff the verdict matrix against the committed golden. Also asserts every
+# planted mutation of the gauntlet downgrades at least one contract cell.
+# After an intentional contract change, regenerate the golden with
+# `make contract-matrix-update` and commit the JSON alongside the change.
+CONTRACT_GOLDEN = internal/leakcheck/testdata/contract_matrix.json
+contract-matrix:
+	$(GO) run ./cmd/leakcheck -contracts -seeds 48 -golden $(CONTRACT_GOLDEN)
+
+contract-matrix-update:
+	$(GO) run ./cmd/leakcheck -contracts -seeds 48 -mutations=false \
+		-golden $(CONTRACT_GOLDEN) -update-golden
 
 fmt:
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi

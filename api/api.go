@@ -1,6 +1,21 @@
-package main
+// Package api defines the wire types of the doppeld HTTP API: requests and
+// responses for /v1/run, /v1/sweep, /v1/checkpoint and /v1/leakcheck. The
+// same structs are consumed by the server (cmd/doppeld), the load generator
+// (cmd/doppelbench), and any external client; the JSON field names are the
+// contract.
+//
+// Responses carry an explicit schema_version (SchemaVersion). The version
+// bumps whenever a field changes meaning or is removed; adding new optional
+// fields does not bump it. Clients should accept any version ≥ the one they
+// were built against and select on the field when shapes diverge.
+package api
 
 import "doppelganger/sim"
+
+// SchemaVersion is the current wire-schema version, stamped into every
+// response. Version 1 was the original unversioned shape; version 2 added
+// the version stamp itself and the /v1/leakcheck contract endpoint.
+const SchemaVersion = 2
 
 // RunRequest asks for one simulation: a suite workload under one
 // configuration.
@@ -36,6 +51,7 @@ type RunRequest struct {
 
 // RunResponse is one completed simulation.
 type RunResponse struct {
+	Schema int `json:"schema_version"`
 	// ID retrieves this response later via GET /v1/results/{id}.
 	ID       string     `json:"id"`
 	Workload string     `json:"workload"`
@@ -81,9 +97,10 @@ type SweepCell struct {
 // SweepResponse is a completed sweep in matrix order (workload, scheme,
 // then -AP/+AP).
 type SweepResponse struct {
-	ID    string      `json:"id"`
-	Scale string      `json:"scale"`
-	Cells []SweepCell `json:"cells"`
+	Schema int         `json:"schema_version"`
+	ID     string      `json:"id"`
+	Scale  string      `json:"scale"`
+	Cells  []SweepCell `json:"cells"`
 }
 
 // CheckpointRequest asks the server to warm up a workload and snapshot the
@@ -106,6 +123,7 @@ type CheckpointRequest struct {
 // RunRequest.Checkpoint and GET /v1/checkpoint/{id}; the digest is its
 // content identity (the engine folds it into cache keys).
 type CheckpointResponse struct {
+	Schema      int    `json:"schema_version"`
 	ID          string `json:"id"`
 	Workload    string `json:"workload"`
 	Scheme      string `json:"scheme"`
@@ -119,7 +137,65 @@ type CheckpointResponse struct {
 	SizeBytes int    `json:"size_bytes"`
 }
 
-// errorResponse is the JSON body of every non-2xx reply.
-type errorResponse struct {
+// LeakcheckRequest asks the server to evaluate the contract lattice over
+// randomized differential gadget pairs and report the per-scheme contract
+// matrix.
+type LeakcheckRequest struct {
+	// Schemes restricts the matrix rows by scheme name (empty = unsafe +
+	// the paper's three schemes). Each scheme contributes a ±AP row pair
+	// unless AP narrows it.
+	Schemes []string `json:"schemes,omitempty"`
+	// AP is "both" (default), "on", or "off".
+	AP string `json:"ap,omitempty"`
+	// FirstSeed is the first gadget seed of the sweep (default 0).
+	FirstSeed int64 `json:"first_seed,omitempty"`
+	// Seeds is how many gadget seeds to sweep per config (default a server
+	// choice; the server also enforces a ceiling — contract sweeps are
+	// hundreds of simulations).
+	Seeds int `json:"seeds,omitempty"`
+}
+
+// ContractCell is one contract-matrix cell: a lattice clause and whether
+// the config's differential pairs stayed indistinguishable under it.
+type ContractCell struct {
+	// Clause is the contract notation, e.g. "ct-spec" (constant-time
+	// observer, transient execution included).
+	Clause string `json:"clause"`
+	// Verdict is "satisfied" or "leaked".
+	Verdict string `json:"verdict"`
+	// Leaks counts distinguishable seeds; 0 when satisfied.
+	Leaks int `json:"leaks"`
+	// FirstSeed is the smallest leaking seed (present when Leaks > 0).
+	FirstSeed int64 `json:"first_seed,omitempty"`
+	// Components names the observation components that diverged, union
+	// over all leaking seeds.
+	Components []string `json:"components,omitempty"`
+}
+
+// ContractRow is one config row of the contract matrix.
+type ContractRow struct {
+	// Config names the scheme cell, e.g. "dom+ap".
+	Config string `json:"config"`
+	// Cells holds one entry per lattice clause in canonical order
+	// (arch-seq, arch-spec, pc-seq, pc-spec, ct-seq, ct-spec).
+	Cells []ContractCell `json:"cells"`
+	// Strongest lists the maximal satisfied clauses — the strongest
+	// contracts the scheme upholds on this sweep.
+	Strongest []string `json:"strongest"`
+}
+
+// LeakcheckResponse is a completed contract sweep.
+type LeakcheckResponse struct {
+	Schema int    `json:"schema_version"`
+	ID     string `json:"id"`
+	// Seeds and FirstSeed echo the effective sweep range after server
+	// clamping.
+	Seeds     int           `json:"seeds"`
+	FirstSeed int64         `json:"first_seed"`
+	Matrix    []ContractRow `json:"matrix"`
+}
+
+// Error is the JSON body of every non-2xx reply.
+type Error struct {
 	Error string `json:"error"`
 }

@@ -13,6 +13,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"doppelganger/api"
 )
 
 // report is what one bench run produces. All counters are totals across
@@ -111,11 +113,11 @@ func fire(ctx context.Context, client *http.Client, cfg config, rng *rand.Rand, 
 	var body any
 	if cfg.Mode == "sweep" {
 		path = "/v1/sweep"
-		body = map[string]any{
-			"workloads": cfg.Workloads,
-			"schemes":   cfg.Schemes,
-			"ap":        cfg.AP,
-			"scale":     cfg.Scale,
+		body = api.SweepRequest{
+			Workloads: cfg.Workloads,
+			Schemes:   cfg.Schemes,
+			AP:        cfg.AP,
+			Scale:     cfg.Scale,
 		}
 	} else {
 		path = "/v1/run"
@@ -125,11 +127,11 @@ func fire(ctx context.Context, client *http.Client, cfg config, rng *rand.Rand, 
 		} else if cfg.AP == "off" {
 			ap = false
 		}
-		body = map[string]any{
-			"workload": cfg.Workloads[rng.Intn(len(cfg.Workloads))],
-			"scheme":   cfg.Schemes[rng.Intn(len(cfg.Schemes))],
-			"ap":       ap,
-			"scale":    cfg.Scale,
+		body = api.RunRequest{
+			Workload: cfg.Workloads[rng.Intn(len(cfg.Workloads))],
+			Scheme:   cfg.Schemes[rng.Intn(len(cfg.Schemes))],
+			AP:       ap,
+			Scale:    cfg.Scale,
 		}
 	}
 	raw, err := json.Marshal(body)

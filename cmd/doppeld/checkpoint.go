@@ -5,6 +5,7 @@ import (
 	"io"
 	"net/http"
 
+	"doppelganger/api"
 	"doppelganger/sim"
 )
 
@@ -19,7 +20,7 @@ const maxImportBytes = 64 << 20
 // handleCheckpointCreate warms a workload on the server and stores the
 // snapshot for later warm-started runs.
 func (s *server) handleCheckpointCreate(w http.ResponseWriter, r *http.Request) {
-	var req CheckpointRequest
+	var req api.CheckpointRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -100,7 +101,7 @@ func (s *server) checkpoint(id string) *sim.Checkpoint {
 
 // storeCheckpoint retains a checkpoint under a fresh ID, evicting the
 // oldest beyond the cap, and describes it.
-func (s *server) storeCheckpoint(ck *sim.Checkpoint) CheckpointResponse {
+func (s *server) storeCheckpoint(ck *sim.Checkpoint) api.CheckpointResponse {
 	id := s.newID("ckpt")
 	s.ckptMu.Lock()
 	s.ckpts[id] = ck
@@ -112,7 +113,8 @@ func (s *server) storeCheckpoint(ck *sim.Checkpoint) CheckpointResponse {
 	s.ckptMu.Unlock()
 	meta := ck.Meta()
 	st := ck.State()
-	return CheckpointResponse{
+	return api.CheckpointResponse{
+		Schema:      api.SchemaVersion,
 		ID:          id,
 		Workload:    meta.ProgramName,
 		Scheme:      meta.WarmScheme,

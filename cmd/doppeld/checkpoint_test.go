@@ -2,19 +2,20 @@ package main
 
 import (
 	"bytes"
+	"doppelganger/api"
 	"encoding/json"
 	"net/http"
 	"testing"
 )
 
 // createCheckpoint posts a checkpoint request and decodes the response.
-func createCheckpoint(t *testing.T, url, body string) CheckpointResponse {
+func createCheckpoint(t *testing.T, url, body string) api.CheckpointResponse {
 	t.Helper()
 	resp, b := postJSON(t, url+"/v1/checkpoint", body)
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("checkpoint status %d: %s", resp.StatusCode, b)
 	}
-	var ck CheckpointResponse
+	var ck api.CheckpointResponse
 	if err := json.Unmarshal(b, &ck); err != nil {
 		t.Fatalf("bad checkpoint JSON: %v\n%s", err, b)
 	}
@@ -34,7 +35,7 @@ func TestCheckpointCreateAndRun(t *testing.T) {
 
 	// A cold run and a warm-started run of the same cell agree
 	// architecturally.
-	var cold, warm RunResponse
+	var cold, warm api.RunResponse
 	resp, b := postJSON(t, ts.URL+"/v1/run",
 		`{"workload":"stream","scale":"test","scheme":"stt","ap":true}`)
 	if resp.StatusCode != http.StatusOK {
@@ -61,7 +62,7 @@ func TestCheckpointCreateAndRun(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("checkpoint-only run status %d: %s", resp.StatusCode, b)
 	}
-	var only RunResponse
+	var only api.RunResponse
 	if err := json.Unmarshal(b, &only); err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestCheckpointExportImportRoundTrip(t *testing.T) {
 	if imp.StatusCode != http.StatusOK {
 		t.Fatalf("import status %d: %s", imp.StatusCode, buf.Bytes())
 	}
-	var reimported CheckpointResponse
+	var reimported api.CheckpointResponse
 	if err := json.Unmarshal(buf.Bytes(), &reimported); err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestCheckpointTracedRun(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("traced warm run status %d: %s", resp.StatusCode, b)
 	}
-	var run RunResponse
+	var run api.RunResponse
 	if err := json.Unmarshal(b, &run); err != nil {
 		t.Fatal(err)
 	}

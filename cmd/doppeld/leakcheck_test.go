@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"doppelganger/api"
+)
+
+// TestLeakcheckEndpoint runs a small contract sweep over one secure scheme
+// and the unsafe baseline, and checks the matrix shape and the headline
+// verdicts: dom satisfies the whole lattice, unsafe leaks under ct-spec
+// and nothing weaker.
+func TestLeakcheckEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/leakcheck",
+		`{"schemes":["unsafe","dom"],"ap":"on","seeds":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var lc api.LeakcheckResponse
+	if err := json.Unmarshal(body, &lc); err != nil {
+		t.Fatalf("bad response JSON: %v\n%s", err, body)
+	}
+	if lc.Schema != api.SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", lc.Schema, api.SchemaVersion)
+	}
+	if lc.Seeds != 4 || len(lc.Matrix) != 2 {
+		t.Fatalf("got %d seeds, %d rows; want 4 seeds, 2 rows", lc.Seeds, len(lc.Matrix))
+	}
+	rows := map[string]api.ContractRow{}
+	for _, r := range lc.Matrix {
+		rows[r.Config] = r
+		if len(r.Cells) != 6 {
+			t.Errorf("%s: %d cells, want the 6-clause lattice", r.Config, len(r.Cells))
+		}
+	}
+	for _, c := range rows["dom+ap"].Cells {
+		if c.Verdict != "satisfied" {
+			t.Errorf("dom+ap/%s = %s, want satisfied", c.Clause, c.Verdict)
+		}
+	}
+	for _, c := range rows["unsafe+ap"].Cells {
+		want := "satisfied"
+		if c.Clause == "ct-spec" {
+			want = "leaked"
+		}
+		if c.Verdict != want {
+			t.Errorf("unsafe+ap/%s = %s, want %s", c.Clause, c.Verdict, want)
+		}
+	}
+
+	// The response is stored and retrievable like any other result.
+	resp, body = getJSON(t, ts.URL+"/v1/results/"+lc.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stored result: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestLeakcheckEndpointRejects exercises the request validation paths.
+func TestLeakcheckEndpointRejects(t *testing.T) {
+	ts := newTestServer(t)
+	for _, body := range []string{
+		`{"schemes":["no-such-scheme"]}`,
+		`{"ap":"sideways"}`,
+		`{"bogus_field":1}`,
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v1/leakcheck", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", body, resp.StatusCode, raw)
+		}
+		var e api.Error
+		if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q not an api.Error", body, raw)
+		}
+	}
+}
+
+// TestLeakcheckSeedClamp: an oversized request is clamped, not refused.
+func TestLeakcheckSeedClamp(t *testing.T) {
+	if maxLeakcheckSeeds >= 1<<20 {
+		t.Fatal("clamp unreasonably large")
+	}
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/leakcheck",
+		`{"schemes":["dom"],"ap":"off","seeds":1048576}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var lc api.LeakcheckResponse
+	if err := json.Unmarshal(body, &lc); err != nil {
+		t.Fatalf("bad response JSON: %v\n%s", err, body)
+	}
+	if lc.Seeds != maxLeakcheckSeeds {
+		t.Errorf("seeds = %d, want clamp %d", lc.Seeds, maxLeakcheckSeeds)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"doppelganger/api"
 	"doppelganger/internal/engine"
 	"doppelganger/internal/workload"
 	"doppelganger/sim"
@@ -79,6 +80,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/run", s.handleRun)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
+	mux.HandleFunc("POST /v1/leakcheck", s.handleLeakcheck)
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpointCreate)
 	mux.HandleFunc("POST /v1/checkpoint/import", s.handleCheckpointImport)
 	mux.HandleFunc("GET /v1/checkpoint/{id}", s.handleCheckpointExport)
@@ -120,7 +122,7 @@ func parseScale(name string) (workload.Scale, string, error) {
 }
 
 func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
-	var req RunRequest
+	var req api.RunRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -224,7 +226,8 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if workloadName == "" {
 		workloadName = prog.Name
 	}
-	resp := RunResponse{
+	resp := api.RunResponse{
+		Schema:   api.SchemaVersion,
 		ID:       s.newID("run"),
 		Workload: workloadName,
 		Scale:    scaleName,
@@ -249,7 +252,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req SweepRequest
+	var req api.SweepRequest
 	if err := decodeJSON(r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -289,7 +292,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	var jobs []engine.Job
-	var cells []SweepCell
+	var cells []api.SweepCell
 	for _, name := range names {
 		prog, err := s.program(name, scale)
 		if err != nil {
@@ -298,7 +301,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 		for i, scheme := range schemes {
 			for _, ap := range aps {
-				cells = append(cells, SweepCell{Workload: name, Scheme: schemeNames[i], AP: ap})
+				cells = append(cells, api.SweepCell{Workload: name, Scheme: schemeNames[i], AP: ap})
 				jobs = append(jobs, engine.Job{
 					Program: prog,
 					Config: sim.Config{
@@ -329,7 +332,7 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	s.sweeps.Add(1)
-	resp := SweepResponse{ID: s.newID("sweep"), Scale: scaleName, Cells: cells}
+	resp := api.SweepResponse{Schema: api.SchemaVersion, ID: s.newID("sweep"), Scale: scaleName, Cells: cells}
 	s.store(resp.ID, resp)
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -408,7 +411,7 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, errorResponse{Error: msg})
+	writeJSON(w, code, api.Error{Error: msg})
 }
 
 // writeSimError maps an engine failure to a status: client cancellations

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"doppelganger/api"
 	"doppelganger/internal/engine"
 	"doppelganger/sim"
 )
@@ -53,7 +54,7 @@ func TestRunRoundTrip(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var run RunResponse
+	var run api.RunResponse
 	if err := json.Unmarshal(body, &run); err != nil {
 		t.Fatalf("bad response JSON: %v\n%s", err, body)
 	}
@@ -81,7 +82,7 @@ func TestSweepRoundTripAndCacheHits(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var sweep SweepResponse
+	var sweep api.SweepResponse
 	if err := json.Unmarshal(body, &sweep); err != nil {
 		t.Fatalf("bad response JSON: %v", err)
 	}
@@ -143,7 +144,7 @@ func TestUnknownWorkloadIs400(t *testing.T) {
 		if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
 			t.Errorf("%s content type = %q", ep, ct)
 		}
-		var e errorResponse
+		var e api.Error
 		if err := json.Unmarshal(raw, &e); err != nil || !strings.Contains(e.Error, "nope") {
 			t.Errorf("%s error body = %s", ep, raw)
 		}
@@ -164,7 +165,7 @@ func TestBadRequestsAre400(t *testing.T) {
 		if resp.StatusCode != http.StatusBadRequest {
 			t.Errorf("%s %s: status = %d, want 400 (%s)", c.ep, c.body, resp.StatusCode, raw)
 		}
-		var e errorResponse
+		var e api.Error
 		if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
 			t.Errorf("%s %s: not a JSON error body: %s", c.ep, c.body, raw)
 		}
@@ -177,7 +178,7 @@ func TestResultsUnknownIDIs404(t *testing.T) {
 	if resp.StatusCode != http.StatusNotFound {
 		t.Errorf("status = %d, want 404", resp.StatusCode)
 	}
-	var e errorResponse
+	var e api.Error
 	if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
 		t.Errorf("not a JSON error body: %s", raw)
 	}
@@ -228,7 +229,7 @@ func TestTracedRun(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var run RunResponse
+	var run api.RunResponse
 	if err := json.Unmarshal(body, &run); err != nil {
 		t.Fatalf("bad response JSON: %v", err)
 	}
@@ -250,7 +251,7 @@ func TestTracedRun(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	var small RunResponse
+	var small api.RunResponse
 	if err := json.Unmarshal(body, &small); err != nil {
 		t.Fatalf("bad response JSON: %v", err)
 	}

@@ -340,7 +340,7 @@ func (p Params) buildBoundsCheck(secret uint8) *program.Program {
 	for i := 0; i < boundValue; i++ {
 		b.InitMem(arrBase+uint64(i)*program.WordSize, int64(i))
 	}
-	b.InitMem(arrBase+secretWord*program.WordSize, int64(secret))
+	b.SecretWord(arrBase+secretWord*program.WordSize, int64(secret))
 
 	// Victim phase: the victim touches its own secret architecturally,
 	// leaving the line warm so the wrong-path load hits the L1 and the
@@ -403,7 +403,7 @@ func (p Params) buildStoreBypass(secret uint8) *program.Program {
 		}
 		return 1 << 40
 	})
-	b.InitMem(cellBase, int64(secret))
+	b.SecretWord(cellBase, int64(secret))
 
 	// Victim phase: warm the cell line so the bypassing load is an L1 hit
 	// (and thus propagates even under Delay-on-Miss).

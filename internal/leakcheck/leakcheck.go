@@ -66,13 +66,17 @@ const defaultMaxCycles = 10_000_000
 
 // Leak reports a divergence between the two runs of a differential pair:
 // the named digest components are attacker-observable state in which the
-// runs — identical but for the secret byte — disagree.
+// runs — identical but for the secret byte — disagree. ObsA and ObsB hold
+// the full-lattice observations, so the leak can be re-examined under any
+// contract clause; DigestA/DigestB are their legacy µarch projections.
 type Leak struct {
 	Params     Params
 	Config     Config
 	Components []string
 	DigestA    sim.MicroDigest
 	DigestB    sim.MicroDigest
+	ObsA       sim.Observation
+	ObsB       sim.Observation
 }
 
 // String summarises the leak on one line.
@@ -80,31 +84,49 @@ func (l *Leak) String() string {
 	return fmt.Sprintf("leak under %s via %v (%s)", l.Config, l.Components, l.Params)
 }
 
+// LeakingClauses returns the contract clauses under which the pair is
+// distinguishable, in canonical lattice order — the cells this leak
+// downgrades. A transient-only leak names ct-spec (and pc-spec if control
+// flow diverged); a predictor leak trained at commit also names seq cells.
+func (l *Leak) LeakingClauses() []sim.Clause {
+	var out []sim.Clause
+	for _, c := range sim.Lattice() {
+		if len(l.ObsA.Diff(&l.ObsB, c)) > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
 // Check runs the gadget's differential pair under the config and returns
-// the leak, or nil if the runs are indistinguishable. The error path is
-// infrastructure failure (context cancellation, wedged simulation), never
-// a leak.
+// the leak, or nil if the runs are indistinguishable under the strongest
+// contract clause (the full observation lattice: every µarch component,
+// the committed and transient address/control traces, and the
+// secret-filtered architectural state). The error path is infrastructure
+// failure (context cancellation, wedged simulation), never a leak.
 func Check(ctx context.Context, p Params, cfg Config) (*Leak, error) {
 	p = p.Normalize()
-	da, err := digestOf(ctx, p, cfg, p.SecretA)
+	oa, err := observationOf(ctx, p, cfg, p.SecretA)
 	if err != nil {
 		return nil, err
 	}
-	db, err := digestOf(ctx, p, cfg, p.SecretB)
+	ob, err := observationOf(ctx, p, cfg, p.SecretB)
 	if err != nil {
 		return nil, err
 	}
-	if diff := da.Diff(db); len(diff) > 0 {
-		return &Leak{Params: p, Config: cfg, Components: diff, DigestA: da, DigestB: db}, nil
+	if diff := oa.DiffAll(&ob); len(diff) > 0 {
+		return &Leak{Params: p, Config: cfg, Components: diff,
+			DigestA: oa.Micro, DigestB: ob.Micro, ObsA: oa, ObsB: ob}, nil
 	}
 	return nil, nil
 }
 
-// digestOf builds the gadget with one secret and runs it to completion,
-// returning the final micro-architectural digest. With WarmupInsts set the
-// run goes through snapshot/restore midway instead of straight-line; both
-// secrets of a pair take the same path, so digests stay comparable.
-func digestOf(ctx context.Context, p Params, cfg Config, secret uint8) (sim.MicroDigest, error) {
+// observationOf builds the gadget with one secret and runs it to
+// completion, observing the full contract lattice. With WarmupInsts set
+// the run goes through snapshot/restore midway instead of straight-line;
+// both secrets of a pair take the same path, so observations stay
+// comparable.
+func observationOf(ctx context.Context, p Params, cfg Config, secret uint8) (sim.Observation, error) {
 	core := sim.DefaultCoreConfig()
 	core.Mutation = cfg.Mutation
 	prog := p.Build(secret)
@@ -114,21 +136,21 @@ func digestOf(ctx context.Context, p Params, cfg Config, secret uint8) (sim.Micr
 		MaxCycles:         defaultMaxCycles,
 		Core:              &core,
 	}
-	var d sim.MicroDigest
+	var o sim.Observation
 	var err error
 	if cfg.WarmupInsts > 0 {
 		var ck *sim.Checkpoint
 		ck, err = sim.Snapshot(prog, simCfg, cfg.WarmupInsts)
 		if err == nil {
-			_, err = sim.RunFromCheckpoint(ctx, prog, simCfg, ck, sim.WithMicroArchDigest(&d))
+			_, err = sim.RunFromCheckpoint(ctx, prog, simCfg, ck, sim.Observe(&o))
 		}
 	} else {
-		_, err = sim.RunContext(ctx, prog, simCfg, sim.WithMicroArchDigest(&d))
+		_, err = sim.RunContext(ctx, prog, simCfg, sim.Observe(&o))
 	}
 	if err != nil {
-		return sim.MicroDigest{}, fmt.Errorf("leakcheck: %s secret=0x%02x: %w", p, secret, err)
+		return sim.Observation{}, fmt.Errorf("leakcheck: %s secret=0x%02x: %w", p, secret, err)
 	}
-	return d, nil
+	return o, nil
 }
 
 // SeedLeak pairs a leak with the seed that produced its gadget.
@@ -238,6 +260,10 @@ type MutationOutcome struct {
 	Seed       int64
 	SeedsTried int
 	Leak       *Leak
+	// Downgrades lists the contract clauses the detecting leak violates:
+	// the cells of the scheme's contract matrix the planted weakening
+	// demotes from satisfied to leaked.
+	Downgrades []sim.Clause
 }
 
 // MutationGauntlet plants each weakening of secure.Mutations into its
@@ -270,6 +296,7 @@ func MutationGauntlet(ctx context.Context, firstSeed int64, maxSeeds int) ([]Mut
 					o.Detected = true
 					o.Seed = seed
 					o.Leak = leak
+					o.Downgrades = leak.LeakingClauses()
 					return
 				}
 			}

@@ -33,6 +33,9 @@ func (c *Core) commit() {
 			} else {
 				c.bp.Train(u.pc, u.actTaken)
 			}
+			if c.obsOn {
+				c.obsCommitBranch(u.pc, u.actTaken, u.actTarget)
+			}
 			c.Stats.CommittedBranches++
 		}
 		if u.oldDst != noReg {
@@ -75,6 +78,9 @@ func (c *Core) commitLoad(u *uop) {
 	}
 	e := &c.lqEntries[u.lqIdx]
 
+	if c.obsOn {
+		c.obsCommitMem(obsTagLoad, e.addr)
+	}
 	c.Stats.CommittedLoads++
 	if e.hadPrediction {
 		c.Stats.CommittedPredictedLoads++
@@ -114,6 +120,10 @@ func (c *Core) commitStore(u *uop) {
 
 	c.backing.store(e.addr, e.data)
 	res := c.hier.Access(c.cycle, e.addr, mem.ClassWriteback, mem.AccessOptions{NoMSHR: true, Write: true})
+	if c.obsOn {
+		c.obsCommitMem(obsTagStore, e.addr)
+		c.obsSpecAccess(uint8(mem.ClassWriteback), e.addr)
+	}
 	c.Stats.CommittedStores++
 	if c.tracing {
 		c.emit(obs.Event{Kind: obs.KindCacheAccess, Seq: u.seq, PC: u.pc, Addr: e.addr,

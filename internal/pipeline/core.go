@@ -101,6 +101,15 @@ type Core struct {
 	winFrom, winTo uint64
 	met            *coreMetrics
 
+	// Observation trace capture (observe.go): rolling digests of committed
+	// and transient-inclusive address/control traces for the contract
+	// oracle. Off unless EnableObsTraces is called.
+	obsOn       bool
+	obsAddrSeq  uint64
+	obsCtrlSeq  uint64
+	obsAddrSpec uint64
+	obsCtrlSpec uint64
+
 	// Stats accumulates raw event counts for the run.
 	Stats Stats
 }

@@ -382,9 +382,14 @@ func (c *Core) issueRealLoad(e *lqEntry, ports *int) {
 	}
 	*ports--
 	if res.DelayedMiss {
+		// Nothing was performed: a DoM delayed miss changes no cache, MSHR
+		// or DRAM state, so it leaves no mark on the speculative trace.
 		e.delayedMiss = true
 		c.Stats.DoMDelayedMisses++
 		return
+	}
+	if c.obsOn {
+		c.obsSpecAccess(uint8(mem.ClassDemand), e.addr)
 	}
 	e.issued = true
 	e.delayedMiss = false
@@ -420,6 +425,9 @@ func (c *Core) issueDoppelganger(e *lqEntry, ports *int) {
 		return // MSHR full, retry
 	}
 	*ports--
+	if c.obsOn {
+		c.obsSpecAccess(uint8(mem.ClassDoppelganger), e.predAddr)
+	}
 	e.doppIssued = true
 	e.doppDoneAt = c.cycle + res.Latency
 	e.doppLevel = res.Level
@@ -460,6 +468,9 @@ func (c *Core) firePrefetches(pc, addr uint64) {
 	for _, t := range c.prefetchBuf {
 		res := c.hier.Access(c.cycle, t, mem.ClassPrefetch, mem.AccessOptions{Prefetch: true})
 		if !res.Rejected {
+			if c.obsOn {
+				c.obsSpecAccess(uint8(mem.ClassPrefetch), t)
+			}
 			c.Stats.PrefetchesIssued++
 			if c.tracing {
 				var fl uint8

@@ -18,6 +18,9 @@ func (c *Core) fetch() {
 	for n := 0; n < c.cfg.DecodeWidth && len(c.fetchBuf) < limit; n++ {
 		in := c.prog.Fetch(c.fetchPC)
 		f := fetched{pc: c.fetchPC, in: in}
+		if c.obsOn {
+			c.obsSpecFetch(f.pc)
+		}
 		switch in.Op.Kind() {
 		case isa.KindBranch:
 			f.hist = c.fetchHist

@@ -24,6 +24,7 @@ type Builder struct {
 	fixups  []fixup // instructions whose Imm awaits a label
 	regs    [isa.NumRegs]int64
 	mem     map[uint64]int64
+	secrets []Region
 	entry   uint64
 	nlabels int
 }
@@ -75,6 +76,21 @@ func (b *Builder) InitReg(r isa.Reg, v int64) *Builder {
 func (b *Builder) InitMem(addr uint64, v int64) *Builder {
 	b.mem[AlignAddr(addr)] = v
 	return b
+}
+
+// Secret labels the byte range [base, base+length) as holding secret data.
+// Labeling is metadata for the contract oracle — it does not initialise the
+// memory; combine with InitMem/InitWords to plant the secret values.
+func (b *Builder) Secret(base, length uint64) *Builder {
+	b.secrets = append(b.secrets, Region{Base: base, Len: length})
+	return b
+}
+
+// SecretWord labels the single word at the (aligned) byte address as secret
+// and initialises it to v.
+func (b *Builder) SecretWord(addr uint64, v int64) *Builder {
+	b.InitMem(addr, v)
+	return b.Secret(AlignAddr(addr), WordSize)
 }
 
 // InitWords lays out a slice of words starting at base.
@@ -204,6 +220,7 @@ func (b *Builder) Build() (*Program, error) {
 		Entry:    b.entry,
 		InitRegs: b.regs,
 		InitMem:  b.mem,
+		Secrets:  append([]Region(nil), b.secrets...),
 		Name:     b.name,
 	}
 	if err := p.Validate(); err != nil {

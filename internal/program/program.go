@@ -30,6 +30,10 @@ type Program struct {
 	// InitMem is the initial data memory image (word-aligned byte address
 	// to 64-bit value).
 	InitMem map[uint64]int64
+	// Secrets labels the memory regions whose initial contents are secret.
+	// The contract oracle (sim.Observe, internal/leakcheck) seeds taint
+	// tracking from these labels; execution is unaffected.
+	Secrets []Region
 	// Name labels the program in statistics output.
 	Name string
 }

@@ -136,6 +136,12 @@ func RunFromCheckpoint(ctx context.Context, p *Program, cfg Config, ck *Checkpoi
 	if o.metrics != nil {
 		c.SetMetrics(o.metrics)
 	}
+	if needsTraces(o.observe) {
+		// Observation traces cover the post-restore window only; both
+		// halves of a differential pair restore from checkpoints taken at
+		// the same architectural point, so their traces stay comparable.
+		c.EnableObsTraces()
+	}
 	maxCycles := o.maxCycles
 	if maxCycles == 0 {
 		maxCycles = cfg.MaxCycles
@@ -152,6 +158,9 @@ func RunFromCheckpoint(ctx context.Context, p *Program, cfg Config, ck *Checkpoi
 	res := Summarize(p, cfg, c)
 	if o.digest != nil {
 		*o.digest = c.MicroDigest()
+	}
+	for _, r := range o.observe {
+		r.capture(c, p)
 	}
 	if o.metrics != nil {
 		RecordMetrics(o.metrics, res)

@@ -1,6 +1,7 @@
 package sim_test
 
 import (
+	"context"
 	"fmt"
 
 	"doppelganger/sim"
@@ -75,4 +76,66 @@ func ExampleWorkloads() {
 	// compile_ir
 	// compress
 	// event_queue
+}
+
+// ExampleObserve runs a differential pair — two executions identical but
+// for a labeled secret word — and compares what different observers see.
+// The probe load's address depends on the secret, so a constant-time
+// observer distinguishes the runs; the architectural observer, which
+// filters secret-tainted state, does not.
+func ExampleObserve() {
+	build := func(secret int64) *sim.Program {
+		b := sim.NewBuilder("probe")
+		b.SecretWord(0x1000, secret) // label the word as secret
+		b.LoadI(1, 0x1000)
+		b.Load(2, 1, 0) // r2 = secret
+		b.ShlI(2, 2, 6) // r2 = secret * 64 (one cache line apart)
+		b.LoadI(3, 0x2000)
+		b.Add(2, 2, 3)
+		b.Load(4, 2, 0) // probe: address depends on the secret
+		b.Halt()
+		return b.MustBuild()
+	}
+	cfg := sim.Config{Scheme: sim.Unsafe}
+	var oa, ob sim.Observation
+	if _, err := sim.RunContext(context.Background(), build(1), cfg,
+		sim.Observe(&oa, sim.ArchSeq, sim.CTSeq)); err != nil {
+		panic(err)
+	}
+	if _, err := sim.RunContext(context.Background(), build(2), cfg,
+		sim.Observe(&ob, sim.ArchSeq, sim.CTSeq)); err != nil {
+		panic(err)
+	}
+	fmt.Println("arch-seq sees:", oa.Diff(&ob, sim.ArchSeq))
+	fmt.Println("ct-seq sees:  ", oa.Diff(&ob, sim.CTSeq))
+	// Output:
+	// arch-seq sees: []
+	// ct-seq sees:   [addr-trace-commit stride-predictor]
+}
+
+// ExampleClause_Covers shows the partial order of the contract lattice:
+// ct-spec is the strongest clause; ct-seq and pc-spec are incomparable.
+func ExampleClause_Covers() {
+	fmt.Println(sim.CTSpec.Covers(sim.ArchSeq))
+	fmt.Println(sim.CTSeq.Covers(sim.PCSpec))
+	fmt.Println(sim.PCSpec.Covers(sim.CTSeq))
+	// Output:
+	// true
+	// false
+	// false
+}
+
+// ExampleClause_VisibleComponents walks the lattice from weakest to
+// strongest observer, showing how visibility grows monotonically.
+func ExampleClause_VisibleComponents() {
+	for _, c := range sim.Lattice() {
+		fmt.Printf("%-9s %d components\n", c, len(c.VisibleComponents()))
+	}
+	// Output:
+	// arch-seq  1 components
+	// arch-spec 1 components
+	// pc-seq    3 components
+	// pc-spec   4 components
+	// ct-seq    6 components
+	// ct-spec   14 components
 }

@@ -22,6 +22,7 @@ type runOpts struct {
 	winTo     uint64
 	maxCycles uint64
 	digest    *MicroDigest
+	observe   []obsRequest
 }
 
 // WithTracer attaches a trace sink: the core emits typed obs.Events for
@@ -66,6 +67,17 @@ type MicroDigest = pipeline.MicroDigest
 // digest. Two runs of programs differing only in secret data must produce
 // equal digests under a secure speculation scheme; any component that
 // differs names a side channel through which the secret escaped.
+//
+// Deprecated: use Observe, which exposes the same nine µarch components
+// (as Observation.Micro, captured identically) plus per-clause contract
+// visibility, secret labeling and trace digests. WithMicroArchDigest is
+// the projection of the full-lattice observation onto its µarch
+// components: for any run,
+//
+//	var d MicroDigest              var o Observation
+//	..., WithMicroArchDigest(&d)   ..., Observe(&o)
+//
+// yield d == o.Micro, checksum-identical component by component.
 func WithMicroArchDigest(d *MicroDigest) RunOption {
 	return func(o *runOpts) { o.digest = d }
 }
@@ -99,6 +111,9 @@ func RunContext(ctx context.Context, p *Program, cfg Config, opts ...RunOption) 
 	if o.metrics != nil {
 		c.SetMetrics(o.metrics)
 	}
+	if needsTraces(o.observe) {
+		c.EnableObsTraces()
+	}
 	maxCycles := o.maxCycles
 	if maxCycles == 0 {
 		maxCycles = cfg.MaxCycles
@@ -119,6 +134,9 @@ func RunContext(ctx context.Context, p *Program, cfg Config, opts ...RunOption) 
 	res := Summarize(p, cfg, c)
 	if o.digest != nil {
 		*o.digest = c.MicroDigest()
+	}
+	for _, r := range o.observe {
+		r.capture(c, p)
 	}
 	if o.metrics != nil {
 		RecordMetrics(o.metrics, res)

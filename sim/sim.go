@@ -56,6 +56,15 @@ type Program = program.Program
 // Builder constructs programs imperatively; see NewBuilder.
 type Builder = program.Builder
 
+// SecretRegion is a byte range of data memory labeled as holding secrets
+// (Program.Secrets, Builder.Secret). The contract oracle seeds its taint
+// tracking from these labels; execution is unaffected.
+type SecretRegion = program.Region
+
+// TaintState is the result of taint-tracking architectural execution; see
+// InterpretTainted.
+type TaintState = program.TaintState
+
 // ArchState is the architectural machine state produced by Interpret and by
 // a finished Core.
 type ArchState = program.ArchState
@@ -87,6 +96,14 @@ func MustAssemble(name, src string) *Program { return program.MustAssemble(name,
 // most maxInsts instructions and returns the architectural state. It is the
 // reference oracle the pipeline is tested against.
 func Interpret(p *Program, maxInsts uint64) *ArchState { return program.Run(p, maxInsts) }
+
+// InterpretTainted executes the program functionally while tracking secret
+// taint from its Secrets labels. The arch observer's digest (PubChecksum)
+// and the constant-time diagnosis both come from here; sim.Observe runs it
+// automatically.
+func InterpretTainted(p *Program, maxInsts uint64) *TaintState {
+	return program.RunTainted(p, maxInsts)
+}
 
 // DefaultCoreConfig returns the paper's Table 1 configuration.
 func DefaultCoreConfig() CoreConfig { return pipeline.DefaultConfig() }
