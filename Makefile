@@ -11,8 +11,8 @@ BENCH_THRESHOLD ?= 1.10
 ALLOC_THRESHOLD ?= 1.10
 
 .PHONY: build test vet race staticcheck check cover fmt figures smoke \
-	cluster-smoke checkpoint-smoke bench benchcheck benchbaseline leakcheck \
-	contract-matrix contract-matrix-update
+	cluster-smoke checkpoint-smoke campaign-smoke bench benchcheck \
+	benchbaseline leakcheck campaign contract-matrix contract-matrix-update
 
 build:
 	$(GO) build ./...
@@ -72,6 +72,21 @@ bench:
 # gauntlet; `cmd/leakcheck -h` documents the flags.
 leakcheck:
 	$(GO) run ./cmd/leakcheck -seeds 256
+
+# Coverage-guided leakage campaign over the default scheme matrix with a
+# persistent corpus; the nightly CI job caches CAMPAIGN_CORPUS across runs
+# so every night extends the same exploration instead of restarting it.
+CAMPAIGN_BUDGET ?= 256
+CAMPAIGN_CORPUS ?= .campaign/corpus.dgcf
+campaign:
+	@mkdir -p $(dir $(CAMPAIGN_CORPUS))
+	$(GO) run ./cmd/leakcheck -campaign -budget $(CAMPAIGN_BUDGET) \
+		-corpus $(CAMPAIGN_CORPUS)
+
+# Campaign end-to-end smoke: fresh run, kill-and-restart resume against the
+# same corpus file, and refusal of corrupted or wrong-version corpora.
+campaign-smoke:
+	./scripts/campaign-smoke.sh
 
 # Contract-matrix gate: evaluate the full observer lattice per scheme and
 # diff the verdict matrix against the committed golden. Also asserts every

@@ -1,5 +1,6 @@
 // Package api defines the wire types of the doppeld HTTP API: requests and
-// responses for /v1/run, /v1/sweep, /v1/checkpoint and /v1/leakcheck. The
+// responses for /v1/run, /v1/sweep, /v1/checkpoint, /v1/leakcheck and
+// /v1/campaign. The
 // same structs are consumed by the server (cmd/doppeld), the load generator
 // (cmd/doppelbench), and any external client; the JSON field names are the
 // contract.
@@ -193,6 +194,64 @@ type LeakcheckResponse struct {
 	Seeds     int           `json:"seeds"`
 	FirstSeed int64         `json:"first_seed"`
 	Matrix    []ContractRow `json:"matrix"`
+}
+
+// CampaignRequest asks the server for a coverage-guided leakcheck
+// campaign: instead of sweeping a fixed seed range, the server mutates
+// gadget genomes toward unexplored micro-architectural coverage and
+// reports every minimized, deduplicated leak reproducer the budget found.
+type CampaignRequest struct {
+	// Schemes restricts the evaluated configs by scheme name (empty =
+	// unsafe + the paper's three schemes). Each scheme contributes a ±AP
+	// config pair unless AP narrows it.
+	Schemes []string `json:"schemes,omitempty"`
+	// AP is "both" (default), "on", or "off".
+	AP string `json:"ap,omitempty"`
+	// Budget is the number of genome evaluations (default a server
+	// choice; the server also enforces a ceiling — each evaluation is one
+	// differential pair simulated under every config).
+	Budget int `json:"budget,omitempty"`
+	// Seed drives the campaign scheduler; a fixed seed reproduces the
+	// campaign exactly.
+	Seed int64 `json:"seed,omitempty"`
+	// Blind disables coverage guidance and samples the historical sweep
+	// generator instead (the baseline campaigns are measured against).
+	Blind bool `json:"blind,omitempty"`
+}
+
+// CampaignLeak is one minimized leak reproducer a campaign found.
+type CampaignLeak struct {
+	// Config names the scheme cell the pair leaked under, e.g. "dom+ap"
+	// or "stt!stt-no-taint".
+	Config string `json:"config"`
+	// Params is the minimized reproducer's canonical parameter rendering.
+	Params string `json:"params"`
+	// Components are the diverging observation components; Clauses the
+	// leaked contract clauses.
+	Components []string `json:"components"`
+	Clauses    []string `json:"clauses,omitempty"`
+	// Key is the reproducer's content identity (stable across runs).
+	Key string `json:"key"`
+}
+
+// CampaignResponse is a completed campaign.
+type CampaignResponse struct {
+	Schema int    `json:"schema_version"`
+	ID     string `json:"id"`
+	// Budget and Seed echo the effective values after server clamping.
+	Budget int   `json:"budget"`
+	Seed   int64 `json:"seed"`
+	// Evals is the number of genomes evaluated, Pairs the differential
+	// pairs simulated (Evals × configs), Cells the distinct coverage
+	// cells populated.
+	Evals int `json:"evals"`
+	Pairs int `json:"pairs"`
+	Cells int `json:"cells"`
+	// NewLeaks counts distinct reproducers discovered by this run;
+	// DupLeaks counts finds deduplicated against already-known behaviour.
+	NewLeaks int            `json:"new_leaks"`
+	DupLeaks int            `json:"dup_leaks"`
+	Leaks    []CampaignLeak `json:"leaks,omitempty"`
 }
 
 // Error is the JSON body of every non-2xx reply.

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+
+	"doppelganger/api"
+)
+
+// TestCampaignEndpoint runs a tiny guided campaign against the unsafe
+// baseline and checks the response shape: budget echoed, pairs = evals ×
+// configs, leaks carry minimized reproducers with stable keys, and the
+// result is stored for later retrieval.
+func TestCampaignEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	resp, body := postJSON(t, ts.URL+"/v1/campaign",
+		`{"schemes":["unsafe"],"ap":"off","budget":8,"seed":1}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var c api.CampaignResponse
+	if err := json.Unmarshal(body, &c); err != nil {
+		t.Fatalf("bad response JSON: %v\n%s", err, body)
+	}
+	if c.Schema != api.SchemaVersion {
+		t.Errorf("schema_version = %d, want %d", c.Schema, api.SchemaVersion)
+	}
+	if c.Budget != 8 || c.Evals != 8 || c.Pairs != 8 {
+		t.Errorf("budget/evals/pairs = %d/%d/%d, want 8/8/8", c.Budget, c.Evals, c.Pairs)
+	}
+	if c.Cells <= 0 {
+		t.Errorf("cells = %d, want > 0", c.Cells)
+	}
+	if c.NewLeaks == 0 {
+		t.Error("no leaks found against unsafe — campaign is not finding anything")
+	}
+	if len(c.Leaks) != c.NewLeaks {
+		t.Errorf("%d leak entries, want new_leaks = %d", len(c.Leaks), c.NewLeaks)
+	}
+	keys := map[string]bool{}
+	for _, lk := range c.Leaks {
+		if lk.Config != "unsafe" {
+			t.Errorf("leak config %q, want \"unsafe\"", lk.Config)
+		}
+		if lk.Params == "" || lk.Key == "" || len(lk.Components) == 0 {
+			t.Errorf("leak missing params/key/components: %+v", lk)
+		}
+		if keys[lk.Key] {
+			t.Errorf("duplicate leak key %s escaped dedup", lk.Key)
+		}
+		keys[lk.Key] = true
+	}
+
+	resp, body = getJSON(t, ts.URL+"/v1/results/"+c.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stored result: status %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestCampaignEndpointRejects exercises the request validation paths.
+func TestCampaignEndpointRejects(t *testing.T) {
+	ts := newTestServer(t)
+	for _, body := range []string{
+		`{"schemes":["no-such-scheme"]}`,
+		`{"ap":"sideways"}`,
+		`{"bogus_field":1}`,
+	} {
+		resp, raw := postJSON(t, ts.URL+"/v1/campaign", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400 (%s)", body, resp.StatusCode, raw)
+		}
+		var e api.Error
+		if err := json.Unmarshal(raw, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body %q not an api.Error", body, raw)
+		}
+	}
+}
+
+// TestCampaignBudgetClamp: an oversized budget is clamped and a missing
+// one defaulted, not refused. (Tested on the helper — a real 1024-eval
+// campaign does not belong in a handler test.)
+func TestCampaignBudgetClamp(t *testing.T) {
+	if maxCampaignBudget >= 1<<16 {
+		t.Fatal("clamp unreasonably large")
+	}
+	for _, tc := range []struct{ in, want int }{
+		{0, defaultCampaignBudget},
+		{-5, defaultCampaignBudget},
+		{8, 8},
+		{maxCampaignBudget, maxCampaignBudget},
+		{1 << 20, maxCampaignBudget},
+	} {
+		if got := clampCampaignBudget(tc.in); got != tc.want {
+			t.Errorf("clampCampaignBudget(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -81,6 +81,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/results/{id}", s.handleResult)
 	mux.HandleFunc("POST /v1/leakcheck", s.handleLeakcheck)
+	mux.HandleFunc("POST /v1/campaign", s.handleCampaign)
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpointCreate)
 	mux.HandleFunc("POST /v1/checkpoint/import", s.handleCheckpointImport)
 	mux.HandleFunc("GET /v1/checkpoint/{id}", s.handleCheckpointExport)

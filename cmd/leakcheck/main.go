@@ -13,12 +13,15 @@
 //	leakcheck -seeds 256 -warmup 200          # every run forked from a mid-gadget checkpoint
 //	leakcheck -contracts -seeds 64            # per-scheme contract matrix
 //	leakcheck -contracts -golden m.json       # diff the matrix against a golden
+//	leakcheck -campaign -budget 512           # coverage-guided campaign
+//	leakcheck -campaign -corpus .corpus/c.dgcf # ... resumable across invocations
+//	leakcheck -campaign -schemes 'dom!dom-issue-miss' # hunt a planted weakening
 //
 // Exit status: 0 when every expectation holds (secure schemes silent, the
 // unsafe baseline divergent, every planted mutation caught — in contract
 // mode: the measured matrix matches the golden and every mutation
-// downgrades at least one cell), 1 when any fails, 2 on usage or
-// infrastructure errors.
+// downgrades at least one cell; in campaign mode: no unmutated secure
+// config leaks), 1 when any fails, 2 on usage or infrastructure errors.
 package main
 
 import (
@@ -30,6 +33,8 @@ import (
 	"runtime"
 	"strings"
 
+	"doppelganger/api"
+	"doppelganger/internal/campaign"
 	"doppelganger/internal/leakcheck"
 	"doppelganger/internal/secure"
 	"doppelganger/sim"
@@ -40,7 +45,7 @@ import (
 // fields keep their names and meaning; consumers select on schema_version.
 const (
 	schemaVersion = 2
-	toolVersion   = "0.8.0"
+	toolVersion   = "0.9.0"
 )
 
 func main() {
@@ -48,13 +53,17 @@ func main() {
 		seeds        = flag.Int("seeds", 256, "number of gadget seeds to sweep per config")
 		firstSeed    = flag.Int64("first", 0, "first seed of the sweep")
 		oneSeed      = flag.Int64("seed", -1, "check a single seed (prints its disassembly); overrides -seeds/-first")
-		schemes      = flag.String("schemes", "unsafe,nda-p,stt,dom", "comma-separated schemes to sweep")
+		schemes      = flag.String("schemes", "unsafe,nda-p,stt,dom", "comma-separated schemes to sweep; scheme!mutation plants a gauntlet weakening")
 		apMode       = flag.String("ap", "both", "doppelganger loads: on, off or both")
 		mutations    = flag.Bool("mutations", true, "also run the mutation gauntlet (planted scheme weakenings must be caught)")
 		mutSeeds     = flag.Int("mutation-seeds", 64, "max seeds to hunt per planted mutation")
 		minimize     = flag.Bool("minimize", false, "minimize each leaking reproducer")
 		warmup       = flag.Uint64("warmup", 0, "route each run through snapshot/restore after N warmed instructions (0 = straight-line)")
 		contracts    = flag.Bool("contracts", false, "evaluate the full contract lattice and emit the per-scheme contract matrix")
+		campaignRun  = flag.Bool("campaign", false, "run a coverage-guided campaign instead of a fixed-seed sweep")
+		budget       = flag.Int("budget", 256, "campaign mode: genome evaluations to spend")
+		corpusPath   = flag.String("corpus", "", "campaign mode: persistent corpus file (resumed when present)")
+		blind        = flag.Bool("blind", false, "campaign mode: disable coverage guidance (baseline sweep generator)")
 		golden       = flag.String("golden", "", "contract mode: compare the measured matrix against this golden JSON file")
 		updateGolden = flag.Bool("update-golden", false, "contract mode: write the measured matrix to the -golden path instead of comparing")
 		jsonOut      = flag.Bool("json", false, "emit the report as JSON")
@@ -76,6 +85,10 @@ func main() {
 	}
 
 	ctx := context.Background()
+	if *campaignRun {
+		runCampaign(ctx, cfgs, *budget, first, *corpusPath, *blind, *jsonOut)
+		return
+	}
 	rep := report{
 		Schema:    schemaVersion,
 		Tool:      toolMeta{Name: "leakcheck", Version: toolVersion},
@@ -109,6 +122,83 @@ func main() {
 		printText(rep)
 	}
 	if !rep.OK {
+		os.Exit(1)
+	}
+}
+
+// runCampaign is the coverage-guided mode: spend the budget on
+// scheduler-chosen gadget genomes, persist (and resume) the corpus when a
+// path is given, and emit the summary as an api.CampaignResponse. The
+// security expectation is the same as a sweep's: an unmutated secure
+// config must not leak.
+func runCampaign(ctx context.Context, cfgs []leakcheck.Config,
+	budget int, seed int64, corpusPath string, blind, jsonOut bool) {
+	opts := campaign.Options{
+		Configs:    cfgs,
+		Budget:     budget,
+		Seed:       seed,
+		CorpusPath: corpusPath,
+		Blind:      blind,
+	}
+	if !jsonOut {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	sum, err := campaign.Run(ctx, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	resp := api.CampaignResponse{
+		Schema:   api.SchemaVersion,
+		ID:       "campaign-local",
+		Budget:   budget,
+		Seed:     seed,
+		Evals:    sum.Evals,
+		Pairs:    sum.Pairs,
+		Cells:    sum.Cells,
+		NewLeaks: sum.NewLeaks,
+		DupLeaks: sum.DupLeaks,
+	}
+	var failures []string
+	for _, lk := range sum.Leaks {
+		resp.Leaks = append(resp.Leaks, api.CampaignLeak{
+			Config:     lk.Config.String(),
+			Params:     lk.Params.String(),
+			Components: lk.Components,
+			Clauses:    lk.Clauses,
+			Key:        lk.Key,
+		})
+		if lk.Config.Secure() {
+			failures = append(failures,
+				fmt.Sprintf("SECURITY: %s leaks via %s (%s)",
+					lk.Config, strings.Join(lk.Components, ","), lk.Params))
+		}
+	}
+
+	if jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
+			fatal(err)
+		}
+	} else {
+		fmt.Printf("leakcheck %s campaign: %d evals (%d pairs), %d coverage cells\n",
+			toolVersion, sum.Evals, sum.Pairs, sum.Cells)
+		fmt.Printf("  corpus: %d inputs (%d resumed), %d new + %d duplicate leaks\n",
+			sum.CorpusInputs, sum.ResumedInputs, sum.NewLeaks, sum.DupLeaks)
+		for _, lk := range sum.Leaks {
+			fmt.Printf("  %-22s %s via %s\n", lk.Config, lk.Params, strings.Join(lk.Components, ","))
+		}
+		for _, f := range failures {
+			fmt.Println("FAIL:", f)
+		}
+		if len(failures) == 0 {
+			fmt.Println("ok: no unmutated secure config leaks")
+		}
+	}
+	if len(failures) > 0 {
 		os.Exit(1)
 	}
 }
@@ -333,12 +423,22 @@ func parseConfigs(schemes, apMode string) ([]leakcheck.Config, error) {
 	}
 	var cfgs []leakcheck.Config
 	for _, name := range strings.Split(schemes, ",") {
-		s, err := secure.ParseScheme(strings.TrimSpace(name))
+		// "scheme!mutation" plants one of the gauntlet's deliberate
+		// weakenings into the scheme (the config the campaign hunts in
+		// TestCampaignFindsAllPlantedMutations); bare names stay intact.
+		name, mutName, mutated := strings.Cut(strings.TrimSpace(name), "!")
+		s, err := secure.ParseScheme(name)
 		if err != nil {
 			return nil, err
 		}
+		mut := secure.MutNone
+		if mutated {
+			if mut, err = secure.ParseMutation(mutName); err != nil {
+				return nil, err
+			}
+		}
 		for _, ap := range aps {
-			cfgs = append(cfgs, leakcheck.Config{Scheme: s, AP: ap})
+			cfgs = append(cfgs, leakcheck.Config{Scheme: s, AP: ap, Mutation: mut})
 		}
 	}
 	if len(cfgs) == 0 {

@@ -1,0 +1,312 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+
+	"doppelganger/internal/leakcheck"
+)
+
+// CorpusVersion is the on-disk corpus format version. OpenCorpus rejects
+// files written by a different version rather than guessing at their
+// layout — a campaign resumed onto a stale corpus must fail loudly, not
+// silently re-explore (or worse, trust cells computed by an incompatible
+// coverage encoding).
+const CorpusVersion = 1
+
+var corpusMagic = [4]byte{'D', 'G', 'C', 'F'}
+
+// ErrCorrupt reports a complete corpus record whose checksum did not
+// verify (or a malformed header). Test with errors.Is.
+var ErrCorrupt = errors.New("campaign: corrupt corpus record")
+
+// maxRecordLen bounds one record so a corrupt length field cannot make
+// OpenCorpus attempt a huge allocation.
+const maxRecordLen = 4 << 20
+
+// Record types.
+const (
+	recInput byte = 1 // a coverage-bearing gadget genome + its cells
+	recLeak  byte = 2 // a minimized, deduplicated leak reproducer
+)
+
+// InputRecord is one coverage-bearing genome. Cells is the full cell set
+// its evaluation produced, persisted so a resumed campaign rebuilds its
+// coverage map — and therefore its novelty judgments — without
+// re-simulating anything.
+type InputRecord struct {
+	Params leakcheck.Params `json:"params"`
+	Cells  []uint64         `json:"cells"`
+}
+
+// LeakRecord is one minimized leak reproducer.
+type LeakRecord struct {
+	// Params is the minimized reproducer (already normalized).
+	Params leakcheck.Params `json:"params"`
+	Config leakcheck.Config `json:"config"`
+	// Components are the diverging digest components; Clauses the leaked
+	// contract clauses, both as reported at detection time.
+	Components []string `json:"components"`
+	Clauses    []string `json:"clauses,omitempty"`
+	// Sig is the behavioural signature (config x family x divergence
+	// shape) used to dedup before paying for minimization; Key identifies
+	// the minimized reproducer itself.
+	Sig string `json:"sig"`
+	Key string `json:"key"`
+}
+
+// LeakSig is the pre-minimization behavioural signature of a leak: two
+// finds with the same signature are the same underlying channel, so only
+// the first is worth minimizing and storing.
+func LeakSig(cfg leakcheck.Config, kind leakcheck.Kind, components, clauses []string) string {
+	return cfg.String() + "|" + kind.String() + "|" +
+		strings.Join(components, ",") + "|" + strings.Join(clauses, ",")
+}
+
+// LeakKey identifies a minimized reproducer: the hash of its canonical
+// parameter rendering under its config. Checksum-identical reproducers are
+// duplicates regardless of which input mutated into them.
+func LeakKey(p leakcheck.Params, cfg leakcheck.Config) string {
+	sum := sha256.Sum256([]byte(p.Normalize().String() + "|" + cfg.String()))
+	return hex.EncodeToString(sum[:])
+}
+
+// Corpus is the campaign's persistent state: every coverage-bearing input
+// and every minimized leak, in one append-only versioned file. Appends are
+// durable record-by-record, so a killed campaign resumes from everything
+// it had fully evaluated. Safe for concurrent use.
+type Corpus struct {
+	mu     sync.Mutex
+	f      *os.File // nil for an in-memory corpus
+	Inputs []InputRecord
+	Leaks  []LeakRecord
+
+	inputSeen map[string]bool
+	leakSigs  map[string]bool
+	leakKeys  map[string]bool
+}
+
+// NewCorpus returns an empty in-memory corpus (no persistence).
+func NewCorpus() *Corpus {
+	return &Corpus{
+		inputSeen: make(map[string]bool),
+		leakSigs:  make(map[string]bool),
+		leakKeys:  make(map[string]bool),
+	}
+}
+
+// OpenCorpus opens (creating if absent) the corpus file at path and replays
+// it, verifying the format version and every record checksum. A torn final
+// record — a crash mid-append — is truncated away; any other corruption
+// fails with ErrCorrupt.
+func OpenCorpus(path string) (*Corpus, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	c := NewCorpus()
+	c.f = f
+	if err := c.load(path); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// Close releases the underlying file (no-op for in-memory corpora).
+func (c *Corpus) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.f == nil {
+		return nil
+	}
+	err := c.f.Close()
+	c.f = nil
+	return err
+}
+
+func (c *Corpus) load(path string) error {
+	info, err := c.f.Stat()
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if info.Size() == 0 {
+		var hdr [8]byte
+		copy(hdr[:4], corpusMagic[:])
+		binary.LittleEndian.PutUint32(hdr[4:], CorpusVersion)
+		if _, err := c.f.WriteAt(hdr[:], 0); err != nil {
+			return fmt.Errorf("campaign: %w", err)
+		}
+		return nil
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(io.NewSectionReader(c.f, 0, 8), hdr[:]); err != nil {
+		return fmt.Errorf("%w: short header in %s", ErrCorrupt, path)
+	}
+	if [4]byte(hdr[:4]) != corpusMagic {
+		return fmt.Errorf("%w: bad magic in %s", ErrCorrupt, path)
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:]); v != CorpusVersion {
+		return fmt.Errorf("campaign: %s is corpus format version %d, this build reads version %d",
+			path, v, CorpusVersion)
+	}
+
+	off := int64(8)
+	size := info.Size()
+	for off < size {
+		var rec [5]byte
+		if _, err := io.ReadFull(io.NewSectionReader(c.f, off, 5), rec[:]); err != nil {
+			return c.truncate(off) // torn header at the tail
+		}
+		typ := rec[0]
+		n := binary.LittleEndian.Uint32(rec[1:])
+		if n == 0 || n > maxRecordLen {
+			return fmt.Errorf("%w: implausible record length %d at offset %d in %s",
+				ErrCorrupt, n, off, path)
+		}
+		body := make([]byte, int(n)+4)
+		if _, err := io.ReadFull(io.NewSectionReader(c.f, off+5, int64(len(body))), body); err != nil {
+			return c.truncate(off) // torn body at the tail
+		}
+		payload := body[:n]
+		want := binary.LittleEndian.Uint32(body[n:])
+		if got := crcRecord(typ, payload); got != want {
+			return fmt.Errorf("%w: checksum mismatch at offset %d in %s (crc %08x, want %08x)",
+				ErrCorrupt, off, path, got, want)
+		}
+		switch typ {
+		case recInput:
+			var in InputRecord
+			if err := json.Unmarshal(payload, &in); err != nil {
+				return fmt.Errorf("%w: undecodable input record at offset %d in %s: %v",
+					ErrCorrupt, off, path, err)
+			}
+			c.replayInput(in)
+		case recLeak:
+			var lk LeakRecord
+			if err := json.Unmarshal(payload, &lk); err != nil {
+				return fmt.Errorf("%w: undecodable leak record at offset %d in %s: %v",
+					ErrCorrupt, off, path, err)
+			}
+			c.replayLeak(lk)
+		default:
+			return fmt.Errorf("%w: unknown record type %d at offset %d in %s",
+				ErrCorrupt, typ, off, path)
+		}
+		off += 5 + int64(len(body))
+	}
+	return nil
+}
+
+func (c *Corpus) truncate(off int64) error {
+	if err := c.f.Truncate(off); err != nil {
+		return fmt.Errorf("campaign: truncating torn corpus tail: %w", err)
+	}
+	return nil
+}
+
+func crcRecord(typ byte, payload []byte) uint32 {
+	crc := crc32.NewIEEE()
+	crc.Write([]byte{typ})
+	crc.Write(payload)
+	return crc.Sum32()
+}
+
+func (c *Corpus) replayInput(in InputRecord) {
+	key := in.Params.String()
+	if c.inputSeen[key] {
+		return
+	}
+	c.inputSeen[key] = true
+	c.Inputs = append(c.Inputs, in)
+}
+
+func (c *Corpus) replayLeak(lk LeakRecord) {
+	if c.leakKeys[lk.Key] {
+		return
+	}
+	c.leakKeys[lk.Key] = true
+	c.leakSigs[lk.Sig] = true
+	c.Leaks = append(c.Leaks, lk)
+}
+
+// append writes one record through to disk (no-op for in-memory corpora).
+func (c *Corpus) append(typ byte, v any) error {
+	if c.f == nil {
+		return nil
+	}
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("campaign: encoding corpus record: %w", err)
+	}
+	buf := make([]byte, 5+len(payload)+4)
+	buf[0] = typ
+	binary.LittleEndian.PutUint32(buf[1:], uint32(len(payload)))
+	copy(buf[5:], payload)
+	binary.LittleEndian.PutUint32(buf[5+len(payload):], crcRecord(typ, payload))
+	if _, err := c.f.Seek(0, io.SeekEnd); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if _, err := c.f.Write(buf); err != nil {
+		return fmt.Errorf("campaign: appending corpus record: %w", err)
+	}
+	return nil
+}
+
+// AddInput records a coverage-bearing genome. Returns false (and writes
+// nothing) if an identical genome is already present.
+func (c *Corpus) AddInput(in InputRecord) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	key := in.Params.String()
+	if c.inputSeen[key] {
+		return false, nil
+	}
+	if err := c.append(recInput, in); err != nil {
+		return false, err
+	}
+	c.inputSeen[key] = true
+	c.Inputs = append(c.Inputs, in)
+	return true, nil
+}
+
+// HasLeakSig reports whether a leak with this behavioural signature is
+// already known (so the caller can skip minimizing a duplicate find).
+func (c *Corpus) HasLeakSig(sig string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.leakSigs[sig]
+}
+
+// AddLeak records a minimized leak. Returns false (and writes nothing) if
+// a checksum-identical reproducer is already present.
+func (c *Corpus) AddLeak(lk LeakRecord) (bool, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.leakKeys[lk.Key] {
+		c.leakSigs[lk.Sig] = true
+		return false, nil
+	}
+	if err := c.append(recLeak, lk); err != nil {
+		return false, err
+	}
+	c.leakKeys[lk.Key] = true
+	c.leakSigs[lk.Sig] = true
+	c.Leaks = append(c.Leaks, lk)
+	return true, nil
+}

@@ -21,10 +21,28 @@ import (
 // is the lowest-indexed genuine failure; cancellations induced by it are
 // reported to onDone but never mask it.
 func (e *Engine) RunBatch(ctx context.Context, jobs []Job, onDone func(i int, res sim.Result, err error)) ([]sim.Result, error) {
+	var wrapped func(i int, res sim.Result, obs sim.Observation, err error)
+	if onDone != nil {
+		wrapped = func(i int, res sim.Result, _ sim.Observation, err error) { onDone(i, res, err) }
+	}
+	results, _, err := e.runBatch(ctx, jobs, wrapped)
+	return results, err
+}
+
+// RunBatchObserved is RunBatch for jobs that request contract observations
+// (Job.Observe): observations are returned positionally alongside the
+// results, with the same ordered-callback discipline. Jobs with an empty
+// Observe set get a zero Observation.
+func (e *Engine) RunBatchObserved(ctx context.Context, jobs []Job, onDone func(i int, res sim.Result, obs sim.Observation, err error)) ([]sim.Result, []sim.Observation, error) {
+	return e.runBatch(ctx, jobs, onDone)
+}
+
+func (e *Engine) runBatch(ctx context.Context, jobs []Job, onDone func(i int, res sim.Result, obs sim.Observation, err error)) ([]sim.Result, []sim.Observation, error) {
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	results := make([]sim.Result, len(jobs))
+	obses := make([]sim.Observation, len(jobs))
 	errs := make([]error, len(jobs))
 	settled := make([]bool, len(jobs))
 	next := 0
@@ -34,10 +52,10 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []Job, onDone func(i int, re
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, err := e.Submit(ctx, jobs[i])
+			res, obsv, err := e.SubmitObserved(ctx, jobs[i])
 			mu.Lock()
 			defer mu.Unlock()
-			results[i], errs[i], settled[i] = res, err, true
+			results[i], obses[i], errs[i], settled[i] = res, obsv, err, true
 			if err != nil {
 				cancel()
 			}
@@ -45,7 +63,7 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []Job, onDone func(i int, re
 			// callbacks).
 			for next < len(jobs) && settled[next] {
 				if onDone != nil {
-					onDone(next, results[next], errs[next])
+					onDone(next, results[next], obses[next], errs[next])
 				}
 				next++
 			}
@@ -67,5 +85,5 @@ func (e *Engine) RunBatch(ctx context.Context, jobs []Job, onDone func(i int, re
 			break
 		}
 	}
-	return results, firstErr
+	return results, obses, firstErr
 }

@@ -20,6 +20,10 @@ type lruCache struct {
 type lruEntry struct {
 	key Key
 	res sim.Result
+	// obs is the run's contract observation for observed jobs (Job.Observe
+	// non-empty; the clause set is part of the key, so a hit always carries
+	// the observation the caller asked for). Zero for blind jobs.
+	obs sim.Observation
 }
 
 func newLRUCache(capacity int) *lruCache {
@@ -30,33 +34,35 @@ func newLRUCache(capacity int) *lruCache {
 	}
 }
 
-// Get returns the cached result for key, promoting it to most recently
-// used.
-func (c *lruCache) Get(key Key) (sim.Result, bool) {
+// Get returns the cached result (and, for observed jobs, its observation)
+// for key, promoting it to most recently used.
+func (c *lruCache) Get(key Key) (sim.Result, sim.Observation, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.items[key]
 	if !ok {
-		return sim.Result{}, false
+		return sim.Result{}, sim.Observation{}, false
 	}
 	c.ll.MoveToFront(el)
-	return el.Value.(*lruEntry).res, true
+	e := el.Value.(*lruEntry)
+	return e.res, e.obs, true
 }
 
 // Put inserts or refreshes a result, evicting the least recently used entry
 // when over capacity.
-func (c *lruCache) Put(key Key, res sim.Result) {
+func (c *lruCache) Put(key Key, res sim.Result, obs sim.Observation) {
 	if c.cap <= 0 {
 		return
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[key]; ok {
-		el.Value.(*lruEntry).res = res
+		e := el.Value.(*lruEntry)
+		e.res, e.obs = res, obs
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res})
+	c.items[key] = c.ll.PushFront(&lruEntry{key: key, res: res, obs: obs})
 	for c.ll.Len() > c.cap {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)

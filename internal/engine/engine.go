@@ -94,6 +94,7 @@ type task struct {
 	ctx  context.Context
 	done chan struct{}
 	res  sim.Result
+	obs  sim.Observation
 	err  error
 }
 
@@ -144,17 +145,26 @@ func (e *Engine) Stats() Stats {
 // than duplicated. Submit blocks until the job completes, ctx is cancelled,
 // or the engine closes.
 func (e *Engine) Submit(ctx context.Context, job Job) (sim.Result, error) {
+	res, _, err := e.SubmitObserved(ctx, job)
+	return res, err
+}
+
+// SubmitObserved is Submit for jobs that also request a contract
+// observation (Job.Observe). The observation is captured by the executing
+// worker and cached alongside the result; for a job with an empty Observe
+// set it is zero.
+func (e *Engine) SubmitObserved(ctx context.Context, job Job) (sim.Result, sim.Observation, error) {
 	if job.Program == nil {
-		return sim.Result{}, errors.New("engine: job has no program")
+		return sim.Result{}, sim.Observation{}, errors.New("engine: job has no program")
 	}
 	e.ctr.submitted.Add(1)
 	key := job.Key()
-	if res, ok := e.cache.Get(key); ok {
+	if res, obsv, ok := e.cache.Get(key); ok {
 		e.ctr.cacheHits.Add(1)
 		if e.met != nil {
 			e.met.cacheHits.Inc()
 		}
-		return res, nil
+		return res, obsv, nil
 	}
 	e.ctr.cacheMiss.Add(1)
 	if e.met != nil {
@@ -165,15 +175,15 @@ func (e *Engine) Submit(ctx context.Context, job Job) (sim.Result, error) {
 	if t, ok := e.inflight[key]; ok {
 		e.mu.Unlock()
 		e.ctr.coalesced.Add(1)
-		res, err := e.wait(ctx, t)
+		res, obsv, err := e.wait(ctx, t)
 		if err != nil && ctx.Err() == nil &&
 			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 			// The joined task died of its owner's context, not ours. Its
 			// failure is not this submission's answer (and is never
 			// cached), so run the job properly under the live context.
-			return e.Submit(ctx, job)
+			return e.SubmitObserved(ctx, job)
 		}
-		return res, err
+		return res, obsv, err
 	}
 	t := &task{job: job, key: key, ctx: ctx, done: make(chan struct{})}
 	e.inflight[key] = t
@@ -189,26 +199,26 @@ func (e *Engine) Submit(ctx context.Context, job Job) (sim.Result, error) {
 			e.met.queueDepth.Dec()
 		}
 		e.abandon(t)
-		return sim.Result{}, ctx.Err()
+		return sim.Result{}, sim.Observation{}, ctx.Err()
 	case <-e.quit:
 		if e.met != nil {
 			e.met.queueDepth.Dec()
 		}
 		e.abandon(t)
-		return sim.Result{}, ErrClosed
+		return sim.Result{}, sim.Observation{}, ErrClosed
 	}
 	return e.wait(ctx, t)
 }
 
 // wait blocks until the task settles or the caller gives up.
-func (e *Engine) wait(ctx context.Context, t *task) (sim.Result, error) {
+func (e *Engine) wait(ctx context.Context, t *task) (sim.Result, sim.Observation, error) {
 	select {
 	case <-t.done:
-		return t.res, t.err
+		return t.res, t.obs, t.err
 	case <-ctx.Done():
-		return sim.Result{}, ctx.Err()
+		return sim.Result{}, sim.Observation{}, ctx.Err()
 	case <-e.quit:
-		return sim.Result{}, ErrClosed
+		return sim.Result{}, sim.Observation{}, ErrClosed
 	}
 }
 

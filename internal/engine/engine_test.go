@@ -253,17 +253,17 @@ func TestInflightCoalescing(t *testing.T) {
 
 func TestLRUCacheEviction(t *testing.T) {
 	c := newLRUCache(2)
-	c.Put("a", sim.Result{Cycles: 1})
-	c.Put("b", sim.Result{Cycles: 2})
-	if _, ok := c.Get("a"); !ok { // promotes a
+	c.Put("a", sim.Result{Cycles: 1}, sim.Observation{})
+	c.Put("b", sim.Result{Cycles: 2}, sim.Observation{})
+	if _, _, ok := c.Get("a"); !ok { // promotes a
 		t.Fatal("a missing")
 	}
-	c.Put("c", sim.Result{Cycles: 3}) // evicts b (least recently used)
-	if _, ok := c.Get("b"); ok {
+	c.Put("c", sim.Result{Cycles: 3}, sim.Observation{}) // evicts b (least recently used)
+	if _, _, ok := c.Get("b"); ok {
 		t.Error("b should have been evicted")
 	}
 	for _, k := range []Key{"a", "c"} {
-		if _, ok := c.Get(k); !ok {
+		if _, _, ok := c.Get(k); !ok {
 			t.Errorf("%s should be cached", k)
 		}
 	}

@@ -35,6 +35,13 @@ type Job struct {
 	// digest is part of the cache key — a warm-started run and a cold run
 	// are different simulations and must never share a cached result.
 	Checkpoint *sim.Checkpoint
+	// Observe, when non-empty, requests a contract observation alongside
+	// the result: the engine enables trace capture for the run and fills
+	// an Observation for the named clauses, returned by SubmitObserved and
+	// RunBatchObserved. The canonical clause set is part of the cache key —
+	// an observed run carries trace digests a blind run never captured, so
+	// the two must not share a cached entry.
+	Observe []sim.Clause
 	// Timeout bounds this job's wall-clock execution; zero uses the
 	// engine's default (which may be none). Timeouts do not contribute
 	// to the cache key — they are an execution detail, not an identity.
@@ -56,6 +63,16 @@ func (j Job) Key() Key {
 		// Folded in only when present, so every pre-checkpoint key (and the
 		// result tiers stored under them) is unchanged.
 		fmt.Fprintf(h, "|ckpt|%s|", j.Checkpoint.Digest())
+	}
+	if len(j.Observe) > 0 {
+		// Same only-when-present discipline as Checkpoint: blind jobs keep
+		// their historical keys.
+		io.WriteString(h, "|obs|")
+		for _, c := range sim.CanonicalClauses(j.Observe) {
+			io.WriteString(h, c.String())
+			io.WriteString(h, ",")
+		}
+		io.WriteString(h, "|")
 	}
 	return Key(hex.EncodeToString(h.Sum(nil)))
 }

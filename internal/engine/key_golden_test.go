@@ -109,6 +109,20 @@ func TestKeyGolden(t *testing.T) {
 			},
 			want: "c77f0790d1d7e2d0d40d43683f7e7ff72e2a99bb2ceddd0a8147aff073bb9479",
 		},
+		{
+			// Like Checkpoint, an empty Observe set contributes nothing, so
+			// every blind job's key (all cases above) predates and survives
+			// observed jobs. The clause set is canonicalised before hashing:
+			// listing CTSpec once, twice, or alongside a covered clause in
+			// any order yields this same key.
+			name: "golden program, full-lattice observation",
+			job: Job{
+				Program: goldenProgram(),
+				Config:  sim.Config{Scheme: sim.DoM, AddressPrediction: true},
+				Observe: []sim.Clause{sim.CTSpec},
+			},
+			want: "d24edbd738db76a9f75f4e7bb1be22a09c4b9ac465ee3f4383339be0c0691a95",
+		},
 	}
 	for _, c := range cases {
 		if got := c.job.Key(); got != c.want {
@@ -196,5 +210,18 @@ func TestKeySensitivity(t *testing.T) {
 	}
 	if got := (Job{Program: goldenProgram(), Checkpoint: ck2}).Key(); got == warm {
 		t.Error("checkpoints with different captured state produced the same key")
+	}
+
+	observed := Job{Program: goldenProgram(), Observe: []sim.Clause{sim.CTSpec}}.Key()
+	if observed == base {
+		t.Error("Observe did not change the key; an observed run must never share a blind run's cached result")
+	}
+	if got := (Job{Program: goldenProgram(), Observe: []sim.Clause{sim.ArchSeq}}).Key(); got == observed {
+		t.Error("different observed clause sets produced the same key")
+	}
+	canon := Job{Program: goldenProgram(), Observe: []sim.Clause{sim.CTSpec, sim.CTSpec, sim.ArchSeq, sim.CTSpec}}.Key()
+	reorderedObs := Job{Program: goldenProgram(), Observe: []sim.Clause{sim.ArchSeq, sim.CTSpec, sim.CTSpec, sim.CTSpec}}.Key()
+	if canon != reorderedObs {
+		t.Error("clause order/duplication leaked into the key; Observe must canonicalise before hashing")
 	}
 }

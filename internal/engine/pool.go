@@ -41,10 +41,10 @@ func (e *Engine) execute(t *task) {
 		return
 	}
 	start := time.Now()
-	res, err := e.runJob(t.ctx, t.job)
+	res, obsv, err := e.runJob(t.ctx, t.job)
 	elapsed := time.Since(start)
 	e.ctr.simWallNS.Add(elapsed.Nanoseconds())
-	t.res, t.err = res, err
+	t.res, t.obs, t.err = res, obsv, err
 	if err != nil {
 		e.ctr.errors.Add(1)
 		if e.met != nil {
@@ -53,7 +53,7 @@ func (e *Engine) execute(t *task) {
 	} else {
 		e.ctr.jobsRun.Add(1)
 		e.ctr.simCycles.Add(res.Cycles)
-		e.cache.Put(t.key, res)
+		e.cache.Put(t.key, res, obsv)
 		if e.met != nil {
 			e.met.jobs.Inc()
 			sim.RecordMetrics(e.met.reg, res)
@@ -78,8 +78,10 @@ func (e *Engine) finish(t *task) {
 // runJob simulates a job to completion. The run is identical to sim.Run —
 // Core.Run enforces the instruction and cycle bounds with the same checks —
 // but proceeds in stepChunk-cycle slices so the worker can observe context
-// cancellation and the job timeout between slices.
-func (e *Engine) runJob(ctx context.Context, job Job) (sim.Result, error) {
+// cancellation and the job timeout between slices. Jobs with a non-empty
+// Observe set additionally get a contract observation captured from the
+// finished core, exactly as sim.Observe would have.
+func (e *Engine) runJob(ctx context.Context, job Job) (sim.Result, sim.Observation, error) {
 	timeout := job.Timeout
 	if timeout == 0 {
 		timeout = e.jobTimeout
@@ -97,7 +99,7 @@ func (e *Engine) runJob(ctx context.Context, job Job) (sim.Result, error) {
 		core, err = sim.NewCore(job.Program, job.Config)
 	}
 	if err != nil {
-		return sim.Result{}, err
+		return sim.Result{}, sim.Observation{}, err
 	}
 	if e.met != nil {
 		// Live histograms (shadow lifetime, load latency, occupancy) and
@@ -105,13 +107,16 @@ func (e *Engine) runJob(ctx context.Context, job Job) (sim.Result, error) {
 		// result stays interchangeable with an unobserved run's.
 		core.SetMetrics(e.met.reg)
 	}
+	if len(job.Observe) > 0 && sim.ClausesNeedTraces(job.Observe) {
+		core.EnableObsTraces()
+	}
 	maxCycles := job.Config.MaxCycles
 	if maxCycles == 0 {
 		maxCycles = sim.DefaultMaxCycles
 	}
 	for {
 		if err := ctx.Err(); err != nil {
-			return sim.Result{}, fmt.Errorf("engine: %q under %v at cycle %d: %w",
+			return sim.Result{}, sim.Observation{}, fmt.Errorf("engine: %q under %v at cycle %d: %w",
 				job.Program.Name, job.Config.Scheme, core.Cycle(), err)
 		}
 		target := core.Cycle() + stepChunk
@@ -125,9 +130,14 @@ func (e *Engine) runJob(ctx context.Context, job Job) (sim.Result, error) {
 		}
 		if core.Cycle() >= maxCycles {
 			// The genuine cycle budget, not just this slice's target.
-			return sim.Result{}, fmt.Errorf("engine: %q under %v: %w",
+			return sim.Result{}, sim.Observation{}, fmt.Errorf("engine: %q under %v: %w",
 				job.Program.Name, job.Config.Scheme, err)
 		}
 	}
-	return sim.Summarize(job.Program, job.Config, core), nil
+	res := sim.Summarize(job.Program, job.Config, core)
+	var obsv sim.Observation
+	if len(job.Observe) > 0 {
+		sim.CaptureObservation(&obsv, core, job.Program, job.Observe...)
+	}
+	return res, obsv, nil
 }

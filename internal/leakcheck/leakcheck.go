@@ -121,21 +121,30 @@ func Check(ctx context.Context, p Params, cfg Config) (*Leak, error) {
 	return nil, nil
 }
 
+// SimConfig lowers the scheme-matrix cell to a full simulator config for
+// one gadget's runs: the gadget's own core requirements (the branch-poison
+// kind swaps in its gshare predictor) with the config's mutation applied.
+// The campaign runner shares this lowering so engine-run and in-process
+// checks agree on what "the same pair" means.
+func (c Config) SimConfig(p Params) sim.Config {
+	core := p.CoreConfig()
+	core.Mutation = c.Mutation
+	return sim.Config{
+		Scheme:            c.Scheme,
+		AddressPrediction: c.AP,
+		MaxCycles:         defaultMaxCycles,
+		Core:              &core,
+	}
+}
+
 // observationOf builds the gadget with one secret and runs it to
 // completion, observing the full contract lattice. With WarmupInsts set
 // the run goes through snapshot/restore midway instead of straight-line;
 // both secrets of a pair take the same path, so observations stay
 // comparable.
 func observationOf(ctx context.Context, p Params, cfg Config, secret uint8) (sim.Observation, error) {
-	core := sim.DefaultCoreConfig()
-	core.Mutation = cfg.Mutation
 	prog := p.Build(secret)
-	simCfg := sim.Config{
-		Scheme:            cfg.Scheme,
-		AddressPrediction: cfg.AP,
-		MaxCycles:         defaultMaxCycles,
-		Core:              &core,
-	}
+	simCfg := cfg.SimConfig(p)
 	var o sim.Observation
 	var err error
 	if cfg.WarmupInsts > 0 {

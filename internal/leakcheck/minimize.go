@@ -72,6 +72,27 @@ func Minimize(ctx context.Context, leak Leak) (Params, error) {
 		if shrinkInt(func(q *Params) *int { return &q.Rounds }, minRounds) {
 			changed = true
 		}
+		// Kind-specific fields shrink toward the owning kind's floor; the
+		// other kinds ignore them, so there they just tidy to zero.
+		minAlias, minPress := 0, 0
+		if p.Kind == KindBranchPoison {
+			minAlias = minAliasTrainings
+		}
+		if p.Kind == KindContention {
+			minPress = minPressureWidth
+		}
+		if shrinkInt(func(q *Params) *int { return &q.AliasPad }, 0) {
+			changed = true
+		}
+		if shrinkInt(func(q *Params) *int { return &q.AliasTrainings }, minAlias) {
+			changed = true
+		}
+		if shrinkInt(func(q *Params) *int { return &q.PressureWidth }, minPress) {
+			changed = true
+		}
+		if shrinkInt(func(q *Params) *int { return &q.SecretBit }, 0) {
+			changed = true
+		}
 	}
 	return p, firstErr
 }

@@ -1,0 +1,186 @@
+package leakcheck_test
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"testing"
+
+	"doppelganger/internal/campaign"
+	"doppelganger/internal/leakcheck"
+	"doppelganger/internal/secure"
+)
+
+// updateCorpus regenerates testdata/corpus/ from a fixed-seed campaign
+// against the unsafe baseline:
+//
+//	go test ./internal/leakcheck -run TestReplayCorpus -update-corpus
+//
+// Only do this after an intentional gadget or observation change; the
+// checked-in reproducers are the regression corpus of past leaks.
+var updateCorpus = flag.Bool("update-corpus", false,
+	"regenerate testdata/corpus/ from a fixed-seed campaign instead of replaying it")
+
+// corpusEntry is one checked-in minimized leak reproducer. The scheme is
+// stored by name so the files stay reviewable; params marshal with their
+// Go field names, matching internal/campaign's corpus records.
+type corpusEntry struct {
+	Description string           `json:"description"`
+	Scheme      string           `json:"scheme"`
+	AP          bool             `json:"ap,omitempty"`
+	Params      leakcheck.Params `json:"params"`
+	Components  []string         `json:"components"`
+	Clauses     []string         `json:"clauses,omitempty"`
+	Key         string           `json:"key"`
+}
+
+const corpusDir = "testdata/corpus"
+
+// TestReplayCorpus replays every checked-in minimized reproducer: each
+// must still leak under the config that originally caught it, through the
+// same observation components, and must stay indistinguishable under every
+// intact secure scheme. This is the regression net for past campaign
+// finds — a simulator change that silently closes (or reroutes) one of
+// these channels fails here, not in a nightly campaign three days later.
+func TestReplayCorpus(t *testing.T) {
+	if *updateCorpus {
+		regenerateCorpus(t)
+	}
+	files, err := filepath.Glob(filepath.Join(corpusDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no reproducers in %s (run with -update-corpus to generate)", corpusDir)
+	}
+	ctx := context.Background()
+	var secureCfgs []leakcheck.Config
+	for _, cfg := range leakcheck.DefaultConfigs() {
+		if cfg.Secure() {
+			secureCfgs = append(secureCfgs, cfg)
+		}
+	}
+	kinds := map[string]bool{}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			data, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var e corpusEntry
+			if err := json.Unmarshal(data, &e); err != nil {
+				t.Fatalf("bad corpus entry: %v", err)
+			}
+			scheme, err := secure.ParseScheme(e.Scheme)
+			if err != nil {
+				t.Fatalf("bad corpus scheme: %v", err)
+			}
+			kinds[e.Params.Kind.String()] = true
+
+			cfg := leakcheck.Config{Scheme: scheme, AP: e.AP}
+			leak, err := leakcheck.Check(ctx, e.Params, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if leak == nil {
+				t.Fatalf("reproducer no longer leaks under %s: %s", cfg, e.Params)
+			}
+			if !reflect.DeepEqual(leak.Components, e.Components) {
+				t.Errorf("components drifted under %s:\n  got  %v\n  want %v\n(regenerate with -update-corpus if intentional)",
+					cfg, leak.Components, e.Components)
+			}
+			if key := campaign.LeakKey(e.Params, cfg); key != e.Key {
+				t.Errorf("key drifted: got %s, want %s", key, e.Key)
+			}
+
+			for _, sc := range secureCfgs {
+				leak, err := leakcheck.Check(ctx, e.Params, sc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if leak != nil {
+					t.Errorf("reproducer distinguishable under intact %s via %v", sc, leak.Components)
+				}
+			}
+		})
+	}
+	// The corpus must exercise every gadget family, or a family could
+	// regress without any replay noticing.
+	if len(kinds) < len(leakcheck.Kinds()) {
+		t.Errorf("corpus covers %d gadget families, want all %d: %v",
+			len(kinds), len(leakcheck.Kinds()), kinds)
+	}
+}
+
+// regenerateCorpus reruns the fixed-seed campaign that produced the
+// corpus and rewrites one reproducer file per gadget family.
+func regenerateCorpus(t *testing.T) {
+	t.Helper()
+	sum, err := campaign.Run(context.Background(), campaign.Options{
+		Configs: []leakcheck.Config{{Scheme: secure.Unsafe}},
+		Budget:  48,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perKind := map[string]campaign.LeakRecord{}
+	for _, lk := range sum.Leaks {
+		kind := lk.Params.Kind.String()
+		if _, ok := perKind[kind]; !ok {
+			perKind[kind] = lk
+		}
+	}
+	if len(perKind) < len(leakcheck.Kinds()) {
+		t.Fatalf("campaign found %d gadget families, want all %d — raise the budget", len(perKind), len(leakcheck.Kinds()))
+	}
+	if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for kind := range perKind {
+		names = append(names, kind)
+	}
+	sort.Strings(names)
+	for _, kind := range names {
+		lk := perKind[kind]
+		// The campaign records the components of the original find; the
+		// minimized reproducer can diverge through a narrower set, and the
+		// replay asserts on what the checked-in params actually do.
+		leak, err := leakcheck.Check(context.Background(), lk.Params, lk.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leak == nil {
+			t.Fatalf("minimized %s reproducer does not replay", kind)
+		}
+		var clauses []string
+		for _, c := range leak.LeakingClauses() {
+			clauses = append(clauses, c.String())
+		}
+		e := corpusEntry{
+			Description: fmt.Sprintf("minimized %s reproducer from the seed-1 unsafe campaign", kind),
+			Scheme:      lk.Config.Scheme.String(),
+			AP:          lk.Config.AP,
+			Params:      lk.Params,
+			Components:  leak.Components,
+			Clauses:     clauses,
+			Key:         lk.Key,
+		}
+		data, err := json.MarshalIndent(e, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(corpusDir, kind+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s: %s", path, lk.Params)
+	}
+}

@@ -300,6 +300,24 @@ func (c *Cache) Fingerprint(now uint64) uint64 {
 	return h
 }
 
+// OccupiedSets folds the cache's valid-line footprint into a 64-bit set
+// bitmap: bit (s mod 64) is set when set s holds at least one valid line.
+// It is a post-run coverage summary for campaign-mode fuzzing — *where* in
+// the cache a run left state, at far coarser grain than Fingerprint — and
+// costs nothing on the access path.
+func (c *Cache) OccupiedSets() uint64 {
+	var bits uint64
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].valid {
+				bits |= 1 << (uint(si) % 64)
+				break
+			}
+		}
+	}
+	return bits
+}
+
 // StatsFingerprint digests the per-class access counters — the traffic an
 // attacker sharing the cache can observe through contention.
 func (c *Cache) StatsFingerprint() uint64 {

@@ -1,17 +1,18 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # Checkpoint warm-start smoke: warm one workload once, snapshot it, then
 # restore the snapshot under every scheme (with and without doppelganger
 # loads) and assert each warm run reaches the same architectural checksum as
 # the straight-line cold run of that cell. Also asserts the file format's
 # refusal discipline: a corrupted checkpoint must be rejected, not restored.
 # Used by `make checkpoint-smoke` and CI.
-set -eu
+set -euo pipefail
 
 WORKLOAD="${CKPT_SMOKE_WORKLOAD:-stream}"
 WARMUP="${CKPT_SMOKE_WARMUP:-5000}"
 
 DIR="$(mktemp -d)"
-trap 'rm -rf "$DIR"' EXIT
+cleanup() { rm -rf "$DIR"; }
+trap cleanup EXIT
 BIN="$DIR/doppelsim"
 CKPT="$DIR/${WORKLOAD}.dgck"
 

@@ -1,4 +1,4 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # End-to-end smoke test for the doppeld cluster fabric: boot a coordinator
 # with a persistent result store plus two workers, stream a sweep, kill one
 # worker mid-sweep, and assert the sweep still completes with zero errors
@@ -7,7 +7,7 @@
 # cluster metric families are exposed. Used by `make cluster-smoke` and CI.
 #
 # CLUSTER_SMOKE_RACE=1 builds the binaries with the race detector.
-set -eu
+set -euo pipefail
 
 DIR="$(mktemp -d)"
 LOG_C="$DIR/coordinator.log"
@@ -35,6 +35,7 @@ cleanup() {
     for pid in $PIDS; do
         wait "$pid" 2>/dev/null || true
     done
+    rm -rf "$DIR"
 }
 trap cleanup EXIT
 
@@ -138,9 +139,9 @@ grep -q 'latency: p50=' "$DIR/bench.out" || {
 # Cluster metric families must be exposed.
 METRICS=$(curl -sf "http://$COORD/metrics")
 for family in cluster_workers_live cluster_result_source_total cluster_worker_failures_total; do
-    echo "$METRICS" | grep -q "^${family}" || {
+    grep -q "^${family}" <<<"$METRICS" || {
         echo "cluster-smoke: /metrics missing ${family}" >&2
-        echo "$METRICS" | grep '^cluster' >&2 || true
+        grep '^cluster' <<<"$METRICS" >&2 || true
         exit 1
     }
 done

@@ -1,20 +1,28 @@
-#!/bin/sh
+#!/usr/bin/env bash
 # End-to-end smoke test for the doppeld service: boot it on a kernel-chosen
 # free port, execute one run through the HTTP API, then assert the /metrics
 # endpoint exposes simulator metric families. Used by `make smoke` and CI.
-set -eu
+set -euo pipefail
 
 # :0 lets the kernel pick a free port; the bound address is parsed from the
 # server's "listening on" log line. SMOKE_ADDR overrides for debugging.
 REQ_ADDR="${SMOKE_ADDR:-127.0.0.1:0}"
 BIN="$(mktemp -d)/doppeld"
 LOG="$(mktemp)"
+PID=""
+
+cleanup() {
+    if [ -n "$PID" ]; then
+        kill "$PID" 2>/dev/null || true
+        wait "$PID" 2>/dev/null || true
+    fi
+}
+trap cleanup EXIT
 
 go build -o "$BIN" ./cmd/doppeld
 
 "$BIN" -addr "$REQ_ADDR" >"$LOG" 2>&1 &
 PID=$!
-trap 'kill "$PID" 2>/dev/null || true; wait "$PID" 2>/dev/null || true' EXIT
 
 # Wait for the server to log its bound address, then for it to be healthy.
 ADDR=""
@@ -47,23 +55,28 @@ until curl -sf "http://${ADDR}/healthz" >/dev/null 2>&1; do
     sleep 0.2
 done
 
-# One traced run: must succeed and return events.
+# One traced run: must succeed and return events. (A `case` match, not a
+# pipe into grep -q: the response can be large, and under pipefail an
+# early-exiting reader would turn the writer's SIGPIPE into a failure.)
 RUN=$(curl -sf -X POST "http://${ADDR}/v1/run" \
     -H 'Content-Type: application/json' \
     -d '{"workload":"stream","scheme":"dom","ap":true,"scale":"test","trace":true}')
-echo "$RUN" | grep -q '"events":' || {
+case "$RUN" in
+*'"events":'*) ;;
+*)
     echo "smoke: traced run returned no events: $RUN" >&2
     exit 1
-}
+    ;;
+esac
 
 # The metrics endpoint must expose simulator and engine families.
 METRICS=$(curl -sf "http://${ADDR}/metrics")
 for family in sim_cycles_total sim_cache_hits_total sim_shadow_lifetime_cycles engine_jobs_total; do
-    echo "$METRICS" | grep -q "^${family}" || {
+    grep -q "^${family}" <<<"$METRICS" || {
         echo "smoke: /metrics missing ${family}" >&2
-        echo "$METRICS" | head -40 >&2
+        head -40 <<<"$METRICS" >&2
         exit 1
     }
 done
 
-echo "smoke: ok on ${ADDR} (traced run + $(echo "$METRICS" | grep -c '^[a-z]') metric lines)"
+echo "smoke: ok on ${ADDR} (traced run + $(grep -c '^[a-z]' <<<"$METRICS") metric lines)"

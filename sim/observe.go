@@ -199,8 +199,23 @@ type Observation struct {
 	// arch — by its own doing, not the hardware's.
 	SecretControlFlow bool `json:"secret_control_flow,omitempty"`
 	SecretAddressing  bool `json:"secret_addressing,omitempty"`
+	// Cover summarises where in the hierarchy the run left state: one
+	// occupied-set bitmap per cache level. It feeds campaign-mode coverage
+	// maps and is deliberately absent from the components list — it is
+	// fuzzing feedback, not an attacker observable, so it never
+	// participates in Diff.
+	Cover CoverMap `json:"cover"`
 
 	clauses []Clause
+}
+
+// CoverMap is the per-level cache-footprint summary of an Observation: bit
+// (s mod 64) of a level's word is set when cache set s held at least one
+// valid line at the end of the run.
+type CoverMap struct {
+	L1 uint64 `json:"l1,omitempty"`
+	L2 uint64 `json:"l2,omitempty"`
+	L3 uint64 `json:"l3,omitempty"`
 }
 
 // Clauses returns the canonical (deduplicated, sorted, covered-clauses
@@ -348,6 +363,36 @@ func (r obsRequest) capture(c *pipeline.Core, p *Program) {
 	o.PubArch = ts.PubChecksum()
 	o.SecretControlFlow = ts.BranchOnSecret
 	o.SecretAddressing = ts.AddrOnSecret
+	h := c.Hierarchy()
+	o.Cover = CoverMap{
+		L1: h.L1D.OccupiedSets(),
+		L2: h.L2.OccupiedSets(),
+		L3: h.L3.OccupiedSets(),
+	}
+}
+
+// CaptureObservation fills *out from a finished core, exactly as Observe
+// does at the end of RunContext. It exists for executors that drive cores
+// directly (the engine worker pool): call ClausesNeedTraces before the run
+// to know whether Core.EnableObsTraces is required, run to completion, then
+// capture.
+func CaptureObservation(out *Observation, c *Core, p *Program, clauses ...Clause) {
+	obsRequest{out: out, clauses: canonClauses(clauses)}.capture(c, p)
+}
+
+// CanonicalClauses returns the canonical form of a clause set — validated,
+// deduplicated and sorted in lattice order, exactly the set an Observation
+// requested with it would report from Clauses. An empty set canonises to
+// the full lattice (CTSpec, the top clause).
+func CanonicalClauses(cs []Clause) []Clause {
+	return canonClauses(cs)
+}
+
+// ClausesNeedTraces reports whether observing the clause set requires the
+// core's rolling trace digests (Core.EnableObsTraces before the run). An
+// empty set means the full lattice, which does.
+func ClausesNeedTraces(cs []Clause) bool {
+	return needsTraces([]obsRequest{{clauses: canonClauses(cs)}})
 }
 
 // Observe fills *out with what a contract observer saw, for each requested
