@@ -31,7 +31,7 @@ func main() {
 	var (
 		workloadName = flag.String("workload", "", "run a suite workload by name (see -list)")
 		file         = flag.String("file", "", "run an assembly file")
-		schemeName   = flag.String("scheme", "unsafe", "secure speculation scheme: unsafe, nda-p, stt, dom, nda-s, stt-spectre")
+		schemeName   = flag.String("scheme", "unsafe", "secure speculation scheme: unsafe, nda-p, stt, dom, nda-s, stt-spectre, cleanup")
 		ap           = flag.Bool("ap", false, "enable doppelganger loads (address prediction)")
 		vp           = flag.Bool("vp", false, "enable DoM value prediction instead of doppelgangers")
 		apKind       = flag.String("predictor", "stride", "address predictor: stride, context, hybrid")

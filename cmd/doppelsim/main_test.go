@@ -54,7 +54,7 @@ func TestBuildCoreConfigRejectsUnknown(t *testing.T) {
 
 func TestSchemeNamesListsExtensions(t *testing.T) {
 	names := schemeNames()
-	for _, want := range []string{"unsafe", "nda-p", "stt", "dom", "nda-s", "stt-spectre"} {
+	for _, want := range []string{"unsafe", "nda-p", "stt", "dom", "nda-s", "stt-spectre", "cleanup"} {
 		found := false
 		for _, n := range names {
 			if n == want {

@@ -16,6 +16,7 @@
 //	leakcheck -campaign -budget 512           # coverage-guided campaign
 //	leakcheck -campaign -corpus .corpus/c.dgcf # ... resumable across invocations
 //	leakcheck -campaign -schemes 'dom!dom-issue-miss' # hunt a planted weakening
+//	leakcheck -campaign -schemes 'cleanup!cleanup-no-lru-undo' # hunt a broken rollback
 //
 // Exit status: 0 when every expectation holds (secure schemes silent, the
 // unsafe baseline divergent, every planted mutation caught — in contract
@@ -53,7 +54,7 @@ func main() {
 		seeds        = flag.Int("seeds", 256, "number of gadget seeds to sweep per config")
 		firstSeed    = flag.Int64("first", 0, "first seed of the sweep")
 		oneSeed      = flag.Int64("seed", -1, "check a single seed (prints its disassembly); overrides -seeds/-first")
-		schemes      = flag.String("schemes", "unsafe,nda-p,stt,dom", "comma-separated schemes to sweep; scheme!mutation plants a gauntlet weakening")
+		schemes      = flag.String("schemes", "unsafe,nda-p,stt,dom,cleanup", "comma-separated schemes to sweep; scheme!mutation plants a gauntlet weakening")
 		apMode       = flag.String("ap", "both", "doppelganger loads: on, off or both")
 		mutations    = flag.Bool("mutations", true, "also run the mutation gauntlet (planted scheme weakenings must be caught)")
 		mutSeeds     = flag.Int("mutation-seeds", 64, "max seeds to hunt per planted mutation")

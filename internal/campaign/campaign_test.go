@@ -41,6 +41,63 @@ func TestSchedulerDeterministic(t *testing.T) {
 	}
 }
 
+// TestSchedulerForgetRefunds pins the draw-refund invariant: a genome that
+// is drawn and then Forgotten (the campaign's dedup filter) must leave the
+// scheduler's bookkeeping exactly as it was — parent energies, the energy
+// total, and the exploration arm's balanced-field visit counts. Before the
+// refund, every filtered duplicate permanently decremented its parent's
+// roulette energy and inflated the visit counters, starving exactly the
+// high-coverage parents dedup hits most often.
+func TestSchedulerForgetRefunds(t *testing.T) {
+	s := NewScheduler(7)
+	s.Add(leakcheck.Generate(1), 5)
+	s.Add(leakcheck.Generate(2), 9)
+
+	snapVisits := func() map[string]map[int]int {
+		out := make(map[string]map[int]int)
+		for f, m := range s.visits {
+			cp := make(map[int]int)
+			for v, n := range m {
+				if n != 0 {
+					cp[v] = n
+				}
+			}
+			if len(cp) > 0 {
+				out[f] = cp
+			}
+		}
+		return out
+	}
+	// Exercise both arms many times; each draw+Forget must be a no-op.
+	for i := 0; i < 200; i++ {
+		energies := make([]int, len(s.inputs))
+		for j := range s.inputs {
+			energies[j] = s.inputs[j].energy
+		}
+		total := s.total
+		visits := snapVisits()
+
+		p := s.Next()
+		s.Forget(p)
+
+		if s.total != total {
+			t.Fatalf("draw %d: total %d after Forget, want %d", i, s.total, total)
+		}
+		for j := range s.inputs {
+			if s.inputs[j].energy != energies[j] {
+				t.Fatalf("draw %d: input %d energy %d after Forget, want %d",
+					i, j, s.inputs[j].energy, energies[j])
+			}
+		}
+		if got := snapVisits(); !reflect.DeepEqual(got, visits) {
+			t.Fatalf("draw %d: visit counts not refunded:\n got %v\nwant %v", i, got, visits)
+		}
+		if _, ok := s.armOf[p.String()]; ok {
+			t.Fatalf("draw %d: arm attribution survived Forget", i)
+		}
+	}
+}
+
 func TestSchedulerDropsCoverageFreeInputs(t *testing.T) {
 	s := NewScheduler(1)
 	s.Add(leakcheck.Generate(1), 0)

@@ -23,6 +23,7 @@ func Mutate(p leakcheck.Params, rng *rand.Rand) leakcheck.Params {
 		func(q *leakcheck.Params) { q.ChainLen += rng.Intn(5) - 2 },
 		func(q *leakcheck.Params) { q.TrainLoops += rng.Intn(3) - 1 },
 		func(q *leakcheck.Params) { q.DoubleTransmit = !q.DoubleTransmit },
+		func(q *leakcheck.Params) { q.Prime = !q.Prime },
 		func(q *leakcheck.Params) { q.AliasTrainings += rng.Intn(3) - 1 },
 		func(q *leakcheck.Params) { q.AliasPad += rng.Intn(9) - 4 },
 		func(q *leakcheck.Params) { q.PressureWidth += rng.Intn(5) - 2 },
@@ -60,6 +61,7 @@ func Random(rng *rand.Rand) leakcheck.Params {
 		ChainLen:       rng.Intn(8),
 		TrainLoops:     rng.Intn(4),
 		DoubleTransmit: rng.Intn(2) == 1,
+		Prime:          rng.Intn(2) == 1,
 		AliasTrainings: rng.Intn(6),
 		AliasPad:       rng.Intn(20),
 		PressureWidth:  rng.Intn(8),

@@ -24,11 +24,31 @@ type Scheduler struct {
 	armOf map[string]int
 
 	visits map[string]map[int]int
+
+	// draws remembers what each outstanding Next() charged against the
+	// bookkeeping above (parent energy decrement, balanced-field visit
+	// bumps), so Forget can refund a drawn-but-never-evaluated genome
+	// instead of leaving the charges to accumulate. inputs is append-only,
+	// so the recorded parent index stays valid.
+	draws map[string]drawRecord
+	// pendingVisits collects the balanced() bumps of the draw in progress.
+	pendingVisits []fieldVisit
 }
 
 type queued struct {
 	params leakcheck.Params
 	energy int
+}
+
+type drawRecord struct {
+	parent      int // index into inputs; -1 for the random arm
+	decremented bool
+	visits      []fieldVisit
+}
+
+type fieldVisit struct {
+	field string
+	val   int
 }
 
 type armStats struct {
@@ -51,6 +71,7 @@ func NewScheduler(seed int64) *Scheduler {
 		rng:    rand.New(rand.NewSource(seed)),
 		armOf:  make(map[string]int),
 		visits: make(map[string]map[int]int),
+		draws:  make(map[string]drawRecord),
 	}
 }
 
@@ -71,6 +92,7 @@ const armDecay = 0.9
 // one and is not worth mutating).
 func (s *Scheduler) Add(p leakcheck.Params, newCells int) {
 	key := p.String()
+	delete(s.draws, key) // the draw's charges are now spent, not refundable
 	if arm, ok := s.armOf[key]; ok {
 		delete(s.armOf, key)
 		for i := range s.arms {
@@ -97,6 +119,14 @@ func (s *Scheduler) Add(p leakcheck.Params, newCells int) {
 // basin. Decay spends that initial advantage across picks, shifting the
 // budget toward whichever inputs keep earning fresh energy.
 func (s *Scheduler) Pick() leakcheck.Params {
+	i, _ := s.pick()
+	return s.inputs[i].params
+}
+
+// pick is the roulette draw behind Pick, additionally reporting which
+// input won and whether its energy was decremented — what Forget needs to
+// refund the draw.
+func (s *Scheduler) pick() (idx int, decremented bool) {
 	t := s.rng.Intn(s.total)
 	for i := range s.inputs {
 		t -= s.inputs[i].energy
@@ -104,19 +134,38 @@ func (s *Scheduler) Pick() leakcheck.Params {
 			if s.inputs[i].energy > baseEnergy {
 				s.inputs[i].energy--
 				s.total--
+				return i, true
 			}
-			return s.inputs[i].params
+			return i, false
 		}
 	}
-	return s.inputs[len(s.inputs)-1].params
+	return len(s.inputs) - 1, false
 }
 
 // Forget cancels a drawn-but-never-evaluated genome (e.g. a duplicate the
-// campaign filtered out before simulating); pulls are only counted when
-// the evaluation is credited back via Add, so this just drops the arm
-// attribution.
+// campaign filtered out before simulating). Pulls are only counted when
+// the evaluation is credited back via Add, but the roulette already
+// decremented the parent's energy and the exploration arm already bumped
+// its balanced-field visit counts — without a refund those charges
+// accumulate across every filtered duplicate, silently starving exactly
+// the high-coverage parents dedup hits most often.
 func (s *Scheduler) Forget(p leakcheck.Params) {
-	delete(s.armOf, p.String())
+	key := p.String()
+	delete(s.armOf, key)
+	rec, ok := s.draws[key]
+	if !ok {
+		return
+	}
+	delete(s.draws, key)
+	if rec.decremented {
+		s.inputs[rec.parent].energy++
+		s.total++
+	}
+	for _, v := range rec.visits {
+		if m := s.visits[v.field]; m[v.val] > 0 {
+			m[v.val]--
+		}
+	}
 }
 
 // pickArm chooses which arm the next draw spends its evaluation on: 1/8
@@ -153,6 +202,7 @@ func (s *Scheduler) balanced(field string, lo, hi int) int {
 		a = b
 	}
 	m[a]++
+	s.pendingVisits = append(s.pendingVisits, fieldVisit{field: field, val: a})
 	return a
 }
 
@@ -168,6 +218,7 @@ func (s *Scheduler) spread() leakcheck.Params {
 		ChainLen:       s.balanced("chain", 0, leakcheck.MaxChainLen),
 		TrainLoops:     s.balanced("train", 0, leakcheck.MaxTrainLoops),
 		DoubleTransmit: s.balanced("double", 0, 1) == 1,
+		Prime:          s.balanced("prime", 0, 1) == 1,
 		AliasTrainings: s.balanced("alias", 0, leakcheck.MaxAliasTrainings),
 		AliasPad:       s.balanced("pad", 0, leakcheck.MaxAliasPad),
 		PressureWidth:  s.balanced("width", 0, leakcheck.MaxPressureWidth),
@@ -186,12 +237,21 @@ func (s *Scheduler) Next() leakcheck.Params {
 	} else {
 		arm = s.pickArm()
 	}
+	s.pendingVisits = s.pendingVisits[:0]
+	parent, decremented := -1, false
 	var p leakcheck.Params
 	if arm == armRandom {
 		p = s.spread()
 	} else {
-		p = Mutate(s.Pick(), s.rng)
+		parent, decremented = s.pick()
+		p = Mutate(s.inputs[parent].params, s.rng)
 	}
-	s.armOf[p.String()] = arm
+	key := p.String()
+	s.armOf[key] = arm
+	s.draws[key] = drawRecord{
+		parent:      parent,
+		decremented: decremented,
+		visits:      append([]fieldVisit(nil), s.pendingVisits...),
+	}
 	return p
 }

@@ -52,6 +52,8 @@ func RunExtensions(workloadName string, scale workload.Scale, runOpts ...sim.Run
 		{"stt+AP", plain(secure.STT, true)},
 		{"stt-spectre", plain(secure.STTSpectre, false)},
 		{"stt-spectre+AP", plain(secure.STTSpectre, true)},
+		{"cleanup", plain(secure.Cleanup, false)},
+		{"cleanup+AP", plain(secure.Cleanup, true)},
 		{"dom", plain(secure.DoM, false)},
 		{"dom+AP", plain(secure.DoM, true)},
 		{"dom+VP", withCore(secure.DoM, false, func(c *pipeline.Config) { c.ValuePrediction = true })},

@@ -18,8 +18,9 @@ import (
 	"doppelganger/sim"
 )
 
-// Schemes evaluated in figure order.
-var Schemes = []secure.Scheme{secure.NDAP, secure.STT, secure.DoM}
+// Schemes evaluated in figure order: the paper's three delay-based
+// schemes, then the undo-based Cleanup point of comparison.
+var Schemes = []secure.Scheme{secure.NDAP, secure.STT, secure.DoM, secure.Cleanup}
 
 // Key identifies one cell of the experiment matrix.
 type Key struct {

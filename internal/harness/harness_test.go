@@ -29,9 +29,9 @@ func TestRunMatrix(t *testing.T) {
 	if len(m.Workloads) != 2 {
 		t.Fatalf("workloads = %v", m.Workloads)
 	}
-	// 2 workloads x 4 schemes x 2 AP = 16 cells.
-	if len(m.Results) != 16 {
-		t.Errorf("cells = %d, want 16", len(m.Results))
+	// 2 workloads x 5 schemes (unsafe + 4) x 2 AP = 20 cells.
+	if len(m.Results) != 20 {
+		t.Errorf("cells = %d, want 20", len(m.Results))
 	}
 	for _, w := range m.Workloads {
 		base := m.Get(w, secure.Unsafe, false)
@@ -169,9 +169,9 @@ func TestWriteCSV(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	// header + 2 workloads x 4 schemes x 2 AP
-	if len(lines) != 1+16 {
-		t.Errorf("CSV has %d lines, want 17", len(lines))
+	// header + 2 workloads x 5 schemes x 2 AP
+	if len(lines) != 1+20 {
+		t.Errorf("CSV has %d lines, want 21", len(lines))
 	}
 	if !strings.HasPrefix(lines[0], "workload,scheme,ap,cycles") {
 		t.Errorf("CSV header wrong: %s", lines[0])

@@ -49,12 +49,30 @@ func CheckShape(m *Matrix) []ShapeCheck {
 		fmt.Sprintf("stt %.3f vs nda-p %.3f", stt, nda))
 
 	for _, s := range Schemes {
+		if s.UndoesSpeculation() {
+			// Undo schemes never delay loads, so there is no slowdown for
+			// doppelganger loads to recover; AP is near-neutral for them.
+			continue
+		}
 		base, ap := gm(s, false), gm(s, true)
 		add("ap-helps-"+s.String(),
 			fmt.Sprintf("address prediction recovers part of %v's slowdown", s),
 			ap > base,
 			fmt.Sprintf("%.3f -> %.3f", base, ap))
 	}
+
+	// The undo-based point of comparison: Cleanup speculates like the
+	// unsafe core and pays only rollback, so it must outrun the strictest
+	// delay-based scheme while staying at or below baseline.
+	cleanup := gm(secure.Cleanup, false)
+	add("cleanup-outruns-delay",
+		"the undo-based scheme is faster than DoM (it never delays a load)",
+		cleanup >= dom-0.005,
+		fmt.Sprintf("cleanup %.3f vs dom %.3f", cleanup, dom))
+	add("cleanup-at-most-baseline",
+		"undo-based speculation runs at or below baseline performance",
+		cleanup <= 1.001,
+		fmt.Sprintf("cleanup %.3f", cleanup))
 
 	// Per-benchmark signatures the paper calls out in §7.
 	if has(m, "stream") && has(m, "pointer_chase") {

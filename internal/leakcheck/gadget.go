@@ -148,21 +148,29 @@ const (
 // Gadget memory layout (byte addresses). Regions are far apart so the only
 // cache lines two runs can disagree on are the secret-indexed probe lines.
 const (
-	idxTableBase = 0x10_000 // per-round index sequence (bounds-check kind)
-	arrBase      = 0x20_000 // victim array; the secret sits past its end
-	probeBase    = 0x40_000 // 256-line transmission array
-	probe2Base   = 0x48_000 // second transmission array (DoubleTransmit)
-	guardBase    = 0x60_000 // cold lines producing late-arriving operands
-	trainBase    = 0x80_000 // committed streaming loads (predictor warm-up)
-	cellBase     = 0xA0_000 // secret cell (store-bypass kind)
-	ptabBase     = 0xC0_000 // per-round pointers into the guard region
-	cptabBase    = 0xD0_000 // per-round pointers into the pressure region
-	contBase     = 0xE0_000 // pressure-burst lines (contention kind)
+	idxTableBase = 0x10_000  // per-round index sequence (bounds-check kind)
+	arrBase      = 0x20_000  // victim array; the secret sits past its end
+	probeBase    = 0x40_000  // 256-line transmission array
+	probe2Base   = 0x48_000  // second transmission array (DoubleTransmit)
+	guardBase    = 0x60_000  // cold lines producing late-arriving operands
+	trainBase    = 0x80_000  // committed streaming loads (predictor warm-up)
+	cellBase     = 0xA0_000  // secret cell (store-bypass kind)
+	ptabBase     = 0xC0_000  // per-round pointers into the guard region
+	cptabBase    = 0xD0_000  // per-round pointers into the pressure region
+	contBase     = 0xE0_000  // pressure-burst lines (contention kind)
+	primeBase    = 0x140_000 // L1-priming pad (Prime feature)
 
 	lineSize   = 64
 	secretWord = 64 // word offset of the secret past arrBase (line-disjoint)
 	boundValue = 8  // architectural bound: in-bounds indices are 0..7
 	pubValue   = 77 // public value the bypassed store writes
+
+	// primeLines covers the default L1D exactly: 48 KB of 64-byte lines is
+	// 64 sets x 12 ways = 768 lines, so a committed walk over this many
+	// consecutive prime-pad lines leaves every L1 set completely full of
+	// valid lines. From then on every fill must evict — which is what makes
+	// rollback fidelity observable (see Params.Prime).
+	primeLines = 768
 )
 
 // Register allocation. The builder panics on out-of-range registers, so
@@ -243,6 +251,18 @@ type Params struct {
 	// differential pair whose secrets agree at this bit is (correctly)
 	// indistinguishable even unprotected.
 	SecretBit int
+	// Prime prepends a committed walk over exactly one L1's worth of pad
+	// lines, leaving every L1 set full before the gadget body runs. With
+	// sets full, the wrong-path probe fill must evict a victim, so schemes
+	// that undo speculation (Cleanup) are tested on eviction rollback, not
+	// just on fills into invalid ways: dropping the evicted line leaves a
+	// secret-shaped hole, and skipping the LRU undo leaves the reinstated
+	// victim with the speculative recency stamp. Generate never samples
+	// this field — the frozen seed stream (contract-matrix golden, corpus)
+	// is unchanged — it is reached by the campaign's mutation and
+	// exploration arms and by the mutation gauntlet's bias for undo
+	// schemes.
+	Prime bool
 	// SecretA and SecretB are the two secret bytes; the differential pair
 	// is (Build(SecretA), Build(SecretB)).
 	SecretA, SecretB uint8
@@ -329,6 +349,11 @@ func (p Params) String() string {
 	case KindContention:
 		s += fmt.Sprintf(" width=%d bit=%d", p.PressureWidth, p.SecretBit)
 	}
+	if p.Prime {
+		// Appended only when set, so every historical rendering (corpus
+		// keys, golden matrix entries) is byte-identical.
+		s += " prime=true"
+	}
 	return s
 }
 
@@ -410,6 +435,27 @@ func (p Params) CoreConfig() sim.CoreConfig {
 	return cc
 }
 
+// emitPrime emits the L1-priming walk when Params.Prime is set: a committed
+// loop loading one word from each of primeLines consecutive pad lines. The
+// walk is public and identical across the differential pair, and it runs
+// before everything else, so after it (and inductively forever after, since
+// fills into a full set evict rather than occupy invalid ways) every L1 set
+// holds only valid lines. The pad words are never initialized — loads of
+// uninitialized memory read zero, and only the fills matter.
+func (p Params) emitPrime(b *program.Builder) {
+	if !p.Prime {
+		return
+	}
+	b.LoadI(rPtr, primeBase)
+	b.LoadI(rCnt, 0)
+	b.LoadI(rLim, primeLines)
+	loop := b.Here()
+	b.Load(rT, rPtr, 0)
+	b.AddI(rPtr, rPtr, lineSize)
+	b.AddI(rCnt, rCnt, 1)
+	b.Blt(rCnt, rLim, loop)
+}
+
 // emitTrainLoops prepends committed streaming loops over public data,
 // giving the stride predictor/prefetcher table confident public entries
 // before the gadget body runs.
@@ -484,6 +530,8 @@ func (p Params) buildBoundsCheck(secret uint8) *program.Program {
 	}
 	b.SecretWord(arrBase+secretWord*program.WordSize, int64(secret))
 
+	p.emitPrime(b)
+
 	// Victim phase: the victim touches its own secret architecturally,
 	// leaving the line warm so the wrong-path load hits the L1 and the
 	// transmission races ahead of the late bounds check.
@@ -546,6 +594,8 @@ func (p Params) buildStoreBypass(secret uint8) *program.Program {
 		return 1 << 40
 	})
 	b.SecretWord(cellBase, int64(secret))
+
+	p.emitPrime(b)
 
 	// Victim phase: warm the cell line so the bypassing load is an L1 hit
 	// (and thus propagates even under Delay-on-Miss).
@@ -647,6 +697,8 @@ func (p Params) buildBranchPoison(secret uint8) *program.Program {
 	// feeds the commit barrier. Both stay cold until their single use.
 	b.InitMem(guardBase, boundValue)
 	b.InitMem(guardBase+lineSize, 1)
+
+	p.emitPrime(b)
 
 	// Victim phase: warm the secret line so the wrong-path load hits L1
 	// and the transmission races the late bounds check.
@@ -781,6 +833,8 @@ func (p Params) buildContention(secret uint8) *program.Program {
 			b.InitMem(base+uint64(d)*lineSize, int64(d+1))
 		}
 	}
+
+	p.emitPrime(b)
 
 	// Victim phase, training loops and the round loop mirror the
 	// bounds-check kind; see buildBoundsCheck for the reasoning.

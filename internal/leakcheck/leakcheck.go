@@ -275,6 +275,20 @@ type MutationOutcome struct {
 	Downgrades []sim.Clause
 }
 
+// GauntletParams is the gadget stream the mutation gauntlet hunts with:
+// Generate's frozen stream, plus a per-target bias the stream itself cannot
+// express. Weakenings of an undo scheme (Cleanup) only become observable
+// when the wrong-path fill evicts a valid line — rollback into an invalid
+// way is identical with or without the planted bug — so for those targets
+// every hunted gadget gets Prime set, filling the L1 before the body runs.
+func GauntletParams(seed int64, m secure.Mutation) Params {
+	p := Generate(seed)
+	if scheme, _ := m.Target(); scheme.UndoesSpeculation() {
+		p.Prime = true
+	}
+	return p
+}
+
 // MutationGauntlet plants each weakening of secure.Mutations into its
 // target scheme and hunts seeds [firstSeed, firstSeed+maxSeeds) for a
 // gadget that exposes it. Every mutation must be Detected, or the oracle
@@ -290,12 +304,12 @@ func MutationGauntlet(ctx context.Context, firstSeed int64, maxSeeds int) ([]Mut
 		scheme, needAP := m.Target()
 		out[i] = MutationOutcome{Mutation: m, Config: Config{Scheme: scheme, AP: needAP, Mutation: m}}
 		wg.Add(1)
-		go func(i int) {
+		go func(i int, m secure.Mutation) {
 			defer wg.Done()
 			o := &out[i]
 			for s := int64(0); s < int64(maxSeeds); s++ {
 				seed := firstSeed + s
-				leak, err := Check(ctx, Generate(seed), o.Config)
+				leak, err := Check(ctx, GauntletParams(seed, m), o.Config)
 				o.SeedsTried++
 				if err != nil {
 					errs[i] = err
@@ -309,7 +323,7 @@ func MutationGauntlet(ctx context.Context, firstSeed int64, maxSeeds int) ([]Mut
 					return
 				}
 			}
-		}(i)
+		}(i, m)
 	}
 	wg.Wait()
 	for _, err := range errs {

@@ -149,12 +149,110 @@ func TestMutationGauntlet(t *testing.T) {
 			t.Errorf("mutation %s detected but leak report empty", o.Mutation)
 		}
 		// Detection must be reproducible from the reported seed alone.
-		again, err := Check(context.Background(), Generate(o.Seed), o.Config)
+		again, err := Check(context.Background(), GauntletParams(o.Seed, o.Mutation), o.Config)
 		if err != nil {
 			t.Fatal(err)
 		}
 		if again == nil {
 			t.Errorf("mutation %s: seed %d did not reproduce", o.Mutation, o.Seed)
+		}
+	}
+}
+
+// TestPrimedCleanupIntactResidual is the flip side of the gauntlet's
+// prime bias: the primed gadgets that expose the planted rollback
+// weakenings must stay essentially silent when Cleanup's undo journal is
+// intact. With every L1 set full, each wrong-path fill evicts a valid
+// victim, so this exercises eviction reinstatement (not just fill
+// invalidation) on every seed, with and without address prediction.
+//
+// "Essentially" because undo-based schemes under LRU have a known,
+// literature-documented residual that rollback cannot close: when a
+// *committed* fill performs while a speculative line still occupies its
+// set, the committed fill's LRU victim choice is perturbed by the
+// transient resident. The speculative line itself is rolled back exactly,
+// but the committed fill legitimately stays — in a different way than it
+// would have landed without the speculation — so the two differential
+// runs can end with genuinely different cache *content*. This is
+// precisely why CleanupSpec pairs undo with L1 random replacement (the
+// CacheConfig.RandomReplacement mode). The test therefore pins the
+// residual's shape instead of claiming universal cleanliness: any leak
+// on a primed intact-cleanup run must be confined to cache-content
+// fingerprints (L1/L2/L3), with no stats, trace, MSHR, or predictor
+// divergence — and the residual must stay rare across the seed range.
+func TestPrimedCleanupIntactResidual(t *testing.T) {
+	ctx := context.Background()
+	leaky := 0
+	for seed := int64(0); seed < testSeeds; seed++ {
+		p := Generate(seed)
+		p.Prime = true
+		seedLeaked := false
+		for _, ap := range []bool{false, true} {
+			leak, err := Check(ctx, p, Config{Scheme: secure.Cleanup, AP: ap})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if leak == nil {
+				continue
+			}
+			seedLeaked = true
+			for _, c := range leak.Components {
+				switch c {
+				case "L1", "L2", "L3":
+				default:
+					t.Errorf("seed %d ap=%v: intact cleanup leaks beyond cache content via %q (all: %v) — rollback broken, not the LRU residual (%s)",
+						seed, ap, c, leak.Components, leak.Params)
+				}
+			}
+		}
+		if seedLeaked {
+			leaky++
+		}
+	}
+	// The residual is a corner case (committed fill racing a still-resident
+	// speculative line in a full set), not the common case. If most primed
+	// seeds diverge, the rollback itself has regressed.
+	if leaky > testSeeds/4 {
+		t.Errorf("victim-perturbation residual on %d/%d primed seeds — too common to be the LRU residual", leaky, testSeeds)
+	}
+}
+
+// TestPrimedUnsafeStillLeaks keeps the primed gadget family non-vacuous:
+// priming must not mask the transmission on the unprotected baseline.
+func TestPrimedUnsafeStillLeaks(t *testing.T) {
+	ctx := context.Background()
+	for seed := int64(0); seed < 8; seed++ {
+		p := Generate(seed)
+		p.Prime = true
+		leak, err := Check(ctx, p, Config{Scheme: secure.Unsafe})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leak == nil {
+			t.Errorf("seed %d: primed gadget silent on the unsafe baseline", seed)
+		}
+	}
+}
+
+// TestGauntletParamsBias pins the gauntlet's gadget stream: undo-scheme
+// mutations hunt with primed gadgets (their weakenings are invisible
+// without evictions), every other mutation hunts with the frozen Generate
+// stream unchanged.
+func TestGauntletParamsBias(t *testing.T) {
+	for _, m := range secure.Mutations() {
+		p := GauntletParams(3, m)
+		scheme, _ := m.Target()
+		if scheme.UndoesSpeculation() {
+			if !p.Prime {
+				t.Errorf("%s: gauntlet params not primed for undo scheme", m)
+			}
+			q := p
+			q.Prime = false
+			if q != Generate(3) {
+				t.Errorf("%s: gauntlet params diverge from Generate beyond the prime bias", m)
+			}
+		} else if p != Generate(3) {
+			t.Errorf("%s: gauntlet params diverge from the frozen Generate stream", m)
 		}
 	}
 }

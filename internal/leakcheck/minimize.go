@@ -60,6 +60,14 @@ func Minimize(ctx context.Context, leak Leak) (Params, error) {
 				changed = true
 			}
 		}
+		if p.Prime {
+			q := p
+			q.Prime = false
+			if leaks(q) {
+				p = q
+				changed = true
+			}
+		}
 		if shrinkInt(func(q *Params) *int { return &q.ChainLen }, 0) {
 			changed = true
 		}

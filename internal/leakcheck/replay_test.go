@@ -28,11 +28,15 @@ var updateCorpus = flag.Bool("update-corpus", false,
 
 // corpusEntry is one checked-in minimized leak reproducer. The scheme is
 // stored by name so the files stay reviewable; params marshal with their
-// Go field names, matching internal/campaign's corpus records.
+// Go field names, matching internal/campaign's corpus records. Mutation,
+// when set, names the planted weakening the reproducer exercises — those
+// entries pin a gauntlet find (the leak must vanish when the same scheme
+// runs intact), not a baseline channel.
 type corpusEntry struct {
 	Description string           `json:"description"`
 	Scheme      string           `json:"scheme"`
 	AP          bool             `json:"ap,omitempty"`
+	Mutation    string           `json:"mutation,omitempty"`
 	Params      leakcheck.Params `json:"params"`
 	Components  []string         `json:"components"`
 	Clauses     []string         `json:"clauses,omitempty"`
@@ -81,15 +85,35 @@ func TestReplayCorpus(t *testing.T) {
 			if err != nil {
 				t.Fatalf("bad corpus scheme: %v", err)
 			}
+			mut := secure.MutNone
+			if e.Mutation != "" {
+				if mut, err = secure.ParseMutation(e.Mutation); err != nil {
+					t.Fatalf("bad corpus mutation: %v", err)
+				}
+			}
 			kinds[e.Params.Kind.String()] = true
 
-			cfg := leakcheck.Config{Scheme: scheme, AP: e.AP}
+			cfg := leakcheck.Config{Scheme: scheme, AP: e.AP, Mutation: mut}
 			leak, err := leakcheck.Check(ctx, e.Params, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
 			if leak == nil {
 				t.Fatalf("reproducer no longer leaks under %s: %s", cfg, e.Params)
+			}
+			if mut != secure.MutNone {
+				// A mutation reproducer pins the planted bug, not a baseline
+				// channel: the same gadget must be silent when the scheme's
+				// protection is intact.
+				intact := leakcheck.Config{Scheme: scheme, AP: e.AP}
+				clean, err := leakcheck.Check(ctx, e.Params, intact)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if clean != nil {
+					t.Errorf("mutation reproducer leaks under intact %s via %v — not the planted bug's doing",
+						intact, clean.Components)
+				}
 			}
 			if !reflect.DeepEqual(leak.Components, e.Components) {
 				t.Errorf("components drifted under %s:\n  got  %v\n  want %v\n(regenerate with -update-corpus if intentional)",
@@ -183,4 +207,65 @@ func regenerateCorpus(t *testing.T) {
 		}
 		t.Logf("wrote %s: %s", path, lk.Params)
 	}
+	regenerateCleanupReproducer(t)
+}
+
+// regenerateCleanupReproducer reruns the fixed-seed campaign against the
+// planted cleanup-no-lru-undo weakening and rewrites its reproducer file.
+// Unlike the per-kind stage above, the leak here is the planted rollback
+// bug's doing: the entry is only checked in after verifying the same
+// gadget is silent under intact Cleanup.
+func regenerateCleanupReproducer(t *testing.T) {
+	t.Helper()
+	cfg := leakcheck.Config{Scheme: secure.Cleanup, Mutation: secure.MutCleanupNoLRUUndo}
+	sum, err := campaign.Run(context.Background(), campaign.Options{
+		Configs: []leakcheck.Config{cfg},
+		Budget:  32,
+		Seed:    1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lk := range sum.Leaks {
+		leak, err := leakcheck.Check(context.Background(), lk.Params, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leak == nil {
+			t.Fatalf("minimized cleanup reproducer does not replay: %s", lk.Params)
+		}
+		clean, err := leakcheck.Check(context.Background(), lk.Params, leakcheck.Config{Scheme: secure.Cleanup})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if clean != nil {
+			// The LRU victim-perturbation residual, not the planted bug —
+			// keep hunting for a reproducer that isolates the weakening.
+			continue
+		}
+		var clauses []string
+		for _, c := range leak.LeakingClauses() {
+			clauses = append(clauses, c.String())
+		}
+		e := corpusEntry{
+			Description: "minimized cleanup-no-lru-undo reproducer from the seed-1 mutation campaign",
+			Scheme:      cfg.Scheme.String(),
+			Mutation:    cfg.Mutation.String(),
+			Params:      lk.Params,
+			Components:  leak.Components,
+			Clauses:     clauses,
+			Key:         lk.Key,
+		}
+		data, err := json.MarshalIndent(e, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(corpusDir, cfg.Mutation.String()+".json")
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s: %s", path, lk.Params)
+		return
+	}
+	t.Fatal("cleanup campaign found no reproducer that is silent under intact Cleanup — raise the budget")
 }

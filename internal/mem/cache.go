@@ -31,6 +31,14 @@ type CacheConfig struct {
 	// Latency is the round-trip access latency in cycles for a hit at
 	// this level.
 	Latency uint64
+	// RandomReplacement selects random (deterministic xorshift) victim
+	// choice instead of LRU when a full set must evict. CleanupSpec pairs
+	// its rollback with L1 random replacement to cheapen recency
+	// restoration; this knob reproduces that design point as an opt-in
+	// experiment mode (recency is still tracked for the fingerprint). The
+	// field is omitted from encodings when false so existing engine cache
+	// keys and checkpoints are unchanged.
+	RandomReplacement bool `json:",omitempty"`
 }
 
 // Sets returns the number of sets implied by the configuration.
@@ -67,6 +75,7 @@ type Cache struct {
 	setMask  uint64
 	tagShift uint
 	clock    uint64 // monotonically increasing recency stamp
+	rng      uint64 // xorshift64 victim-choice state (RandomReplacement only)
 
 	// Stats, by access class.
 	Accesses [numClasses]uint64
@@ -85,6 +94,7 @@ func NewCache(cfg CacheConfig) *Cache {
 		cfg:     cfg,
 		sets:    make([][]line, sets),
 		setMask: uint64(sets - 1),
+		rng:     rngSeed,
 	}
 	for s := uint64(sets); s > 1; s >>= 1 {
 		c.tagShift++
@@ -114,6 +124,33 @@ func (c *Cache) find(addr uint64) *line {
 	return nil
 }
 
+// findWay is find, additionally reporting the way coordinates the rollback
+// journal validates against. way is -1 on a miss.
+func (c *Cache) findWay(addr uint64) (set, way int, l *line) {
+	s, tag := c.index(addr)
+	ws := c.sets[s]
+	for i := range ws {
+		if ws[i].valid && ws[i].tag == tag {
+			return int(s), i, &ws[i]
+		}
+	}
+	return int(s), -1, nil
+}
+
+// rngSeed starts every cache's xorshift64 victim-choice stream at the same
+// well-mixed point, so random-replacement runs are reproducible.
+const rngSeed = 0x9E3779B97F4A7C15
+
+// nextRand steps the deterministic xorshift64 stream (RandomReplacement).
+func (c *Cache) nextRand() uint64 {
+	x := c.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	c.rng = x
+	return x
+}
+
 // Contains probes for a usable (fill-complete) line without changing any
 // state — no recency update, no statistics. Used for DoM's speculative L1
 // probe, prefetch filtering, and tests.
@@ -128,9 +165,21 @@ func (c *Cache) Present(addr uint64) bool { return c.find(addr) != nil }
 
 // MarkDirty flags the line as modified, if present.
 func (c *Cache) MarkDirty(addr uint64) {
-	if l := c.find(addr); l != nil {
-		l.dirty = true
+	c.markDirty(addr, nil, 0)
+}
+
+// markDirty is MarkDirty with an optional rollback journal recording the
+// dirty-bit transition of a tagged speculative access.
+func (c *Cache) markDirty(addr uint64, j *undoJournal, seq uint64) {
+	set, way, l := c.findWay(addr)
+	if l == nil {
+		return
 	}
+	if j != nil && !l.dirty {
+		j.add(undoRec{seq: seq, kind: undoDirty, c: c, set: int32(set), way: int32(way),
+			tag: l.tag, prev: line{dirty: false}})
+	}
+	l.dirty = true
 }
 
 // Touch updates the recency of the line if present and reports whether it
@@ -150,36 +199,50 @@ func (c *Cache) Touch(addr uint64) bool {
 // updateLRU is false (DoM delayed replacement). It reports whether the
 // access hit.
 func (c *Cache) Access(addr uint64, now uint64, class Class, updateLRU bool) bool {
-	c.Accesses[class]++
-	if l := c.find(addr); l != nil && l.readyAt <= now {
-		if updateLRU {
-			c.clock++
-			l.lastUse = c.clock
-		}
-		c.Hits[class]++
+	return c.access(addr, now, class, updateLRU, nil, 0)
+}
+
+// access is Access with an optional rollback journal: a tagged speculative
+// access (j non-nil) journals its counter update and recency touch so a
+// squash can revoke them.
+func (c *Cache) access(addr, now uint64, class Class, updateLRU bool, j *undoJournal, seq uint64) bool {
+	set, way, l := c.findWay(addr)
+	if l != nil && l.readyAt <= now {
+		c.countHit(l, set, way, class, updateLRU, j, seq)
 		return true
 	}
-	c.Misses[class]++
+	c.countMiss(class, j, seq)
 	return false
 }
 
-// countHit records a hit for a line already located via find, optionally
+// countHit records a hit for a line already located via findWay, optionally
 // refreshing its recency. Together with countMiss it is the counting half
 // of Access, for callers that probe once and branch on the outcome
-// themselves instead of paying a second set walk.
-func (c *Cache) countHit(l *line, class Class, updateLRU bool) {
+// themselves instead of paying a second set walk. A non-nil journal records
+// the counter update and the touch for squash-time rollback.
+func (c *Cache) countHit(l *line, set, way int, class Class, updateLRU bool, j *undoJournal, seq uint64) {
 	c.Accesses[class]++
 	if updateLRU {
+		if j != nil {
+			j.add(undoRec{seq: seq, kind: undoTouch, c: c, set: int32(set), way: int32(way),
+				tag: l.tag, stamp: c.clock + 1, prev: line{lastUse: l.lastUse}})
+		}
 		c.clock++
 		l.lastUse = c.clock
 	}
 	c.Hits[class]++
+	if j != nil {
+		j.add(undoRec{seq: seq, kind: undoStats, c: c, class: class, hit: true})
+	}
 }
 
 // countMiss records a miss for callers that already probed with find.
-func (c *Cache) countMiss(class Class) {
+func (c *Cache) countMiss(class Class, j *undoJournal, seq uint64) {
 	c.Accesses[class]++
 	c.Misses[class]++
+	if j != nil {
+		j.add(undoRec{seq: seq, kind: undoStats, c: c, class: class, hit: false})
+	}
 }
 
 // Insert fills the line with the given fill-completion time, evicting the
@@ -195,11 +258,26 @@ func (c *Cache) Insert(addr uint64, readyAt uint64) (evicted uint64, wasEvicted 
 // InsertDirtyInfo is Insert, additionally reporting whether the evicted
 // line was dirty (needs writing back to the next level).
 func (c *Cache) InsertDirtyInfo(addr uint64, readyAt uint64) (evicted uint64, wasEvicted, evictedDirty bool) {
+	return c.insert(addr, readyAt, nil, 0)
+}
+
+// insert is the one fill path, shared by the plain and journaled callers so
+// their semantics cannot drift. The three outcomes — refreshing a present
+// line (which may only ever move an in-flight readyAt *earlier*, matching
+// the MSHR-merge rule that a second requester shares, never delays, an
+// existing fill), taking an invalid way, or evicting a victim — all record
+// a single undoFill carrying the way's complete prior contents, so rollback
+// uniformly re-invalidates, un-refreshes, or reinstates.
+func (c *Cache) insert(addr, readyAt uint64, j *undoJournal, seq uint64) (evicted uint64, wasEvicted, evictedDirty bool) {
 	set, tag := c.index(addr)
 	ways := c.sets[set]
 	c.clock++
 	for i := range ways {
 		if ways[i].valid && ways[i].tag == tag {
+			if j != nil {
+				j.add(undoRec{seq: seq, kind: undoFill, c: c, set: int32(set), way: int32(i),
+					tag: tag, stamp: c.clock, prev: ways[i]})
+			}
 			ways[i].lastUse = c.clock
 			if readyAt < ways[i].readyAt {
 				ways[i].readyAt = readyAt
@@ -207,22 +285,34 @@ func (c *Cache) InsertDirtyInfo(addr uint64, readyAt uint64) (evicted uint64, wa
 			return 0, false, false
 		}
 	}
+	victim := -1
 	for i := range ways {
 		if !ways[i].valid {
-			ways[i] = line{tag: tag, valid: true, lastUse: c.clock, readyAt: readyAt}
-			return 0, false, false
-		}
-	}
-	victim := 0
-	for i := 1; i < len(ways); i++ {
-		if ways[i].lastUse < ways[victim].lastUse {
 			victim = i
+			break
 		}
 	}
-	evicted = c.lineAddr(set, ways[victim].tag)
-	evictedDirty = ways[victim].dirty
+	if victim < 0 {
+		if c.cfg.RandomReplacement {
+			victim = int(c.nextRand() % uint64(len(ways)))
+		} else {
+			victim = 0
+			for i := 1; i < len(ways); i++ {
+				if ways[i].lastUse < ways[victim].lastUse {
+					victim = i
+				}
+			}
+		}
+		evicted = c.lineAddr(set, ways[victim].tag)
+		evictedDirty = ways[victim].dirty
+		wasEvicted = true
+	}
+	if j != nil {
+		j.add(undoRec{seq: seq, kind: undoFill, c: c, set: int32(set), way: int32(victim),
+			tag: tag, stamp: c.clock, prev: ways[victim]})
+	}
 	ways[victim] = line{tag: tag, valid: true, lastUse: c.clock, readyAt: readyAt}
-	return evicted, true, evictedDirty
+	return evicted, wasEvicted, evictedDirty
 }
 
 // Invalidate removes the line if present (coherence invalidation), and
@@ -265,6 +355,14 @@ func (c *Cache) TotalMisses() uint64 {
 // fingerprints are indistinguishable through this cache. Raw recency
 // timestamps are deliberately reduced to ranks: absolute access counts are
 // already captured by the access statistics.
+//
+// Lines fold in recency-rank order within each set, not physical way order:
+// the way a line happens to occupy is invisible to a prime+probe attacker,
+// and under an undo scheme a rolled-back speculative fill can legitimately
+// shift which way a later (architectural) fill lands in without changing
+// anything observable. Rank order is well-defined because recency stamps
+// are unique per cache (the clock advances once per stamp, and rollback
+// only ever resurrects a stamp whose holder was evicted).
 func (c *Cache) Fingerprint(now uint64) uint64 {
 	const prime = 1099511628211
 	h := uint64(1469598103934665603)
@@ -273,17 +371,25 @@ func (c *Cache) Fingerprint(now uint64) uint64 {
 		h *= prime
 	}
 	for si, set := range c.sets {
+		valid := 0
 		for wi := range set {
-			l := &set[wi]
-			if !l.valid {
-				continue
+			if set[wi].valid {
+				valid++
 			}
-			rank := 0
-			for wj := range set {
-				if set[wj].valid && set[wj].lastUse < l.lastUse {
-					rank++
+		}
+		prevUse := uint64(0)
+		for rank := 0; rank < valid; rank++ {
+			var l *line
+			for wi := range set {
+				cand := &set[wi]
+				if !cand.valid || (rank > 0 && cand.lastUse <= prevUse) {
+					continue
+				}
+				if l == nil || cand.lastUse < l.lastUse {
+					l = cand
 				}
 			}
+			prevUse = l.lastUse
 			mix(uint64(si))
 			mix(l.tag)
 			mix(uint64(rank))

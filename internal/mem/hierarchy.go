@@ -150,6 +150,10 @@ type Hierarchy struct {
 	// allocations. See MSHRTimeline.
 	mshrSig uint64
 
+	// undo is the rollback journal for CleanupSpec-style undo schemes; nil
+	// (the default) disables journaling entirely. See undo.go.
+	undo *undoJournal
+
 	// met holds optional live registry instruments; nil when no metrics
 	// registry is attached (the default, and the zero-overhead path).
 	met *hierMetrics
@@ -306,6 +310,12 @@ type AccessOptions struct {
 	// line is already resident or in flight, and its fill is tracked in a
 	// mergeable but non-limiting MSHR entry (a prefetch queue).
 	Prefetch bool
+	// UndoSeq, when non-zero on a hierarchy with an attached rollback
+	// journal (EnableUndo), tags the access with the issuing instruction's
+	// sequence number: every side effect is journaled so RollbackAfter can
+	// revoke it on squash and RetireUpTo can finalise it at commit.
+	// Instruction sequence numbers start at 1, so zero means untagged.
+	UndoSeq uint64
 }
 
 // Access performs a memory request for the line containing addr at cycle
@@ -318,16 +328,25 @@ func (h *Hierarchy) Access(now, addr uint64, class Class, opts AccessOptions) Ac
 	la := LineAddr(addr)
 	h.expire(now)
 
+	// j is non-nil only for a tagged speculative access on a hierarchy
+	// with rollback journaling enabled; every state change below then
+	// records its inverse.
+	j := h.undo
+	seq := opts.UndoSeq
+	if seq == 0 {
+		j = nil
+	}
+
 	// One L1 probe serves every decision below: the old flow re-walked the
 	// set up to three times (Contains, Present, Access) per request.
-	l1 := h.L1D.find(la)
+	set1, way1, l1 := h.L1D.findWay(la)
 	usable := l1 != nil && l1.readyAt <= now
 
 	if opts.DoMSpeculative {
 		// Probe only: on miss nothing anywhere may change (that is the
 		// entire DoM guarantee), on hit the replacement update is delayed.
 		if usable {
-			h.L1D.countHit(l1, class, false)
+			h.L1D.countHit(l1, set1, way1, class, false, j, seq)
 			h.countAccess(LevelL1)
 			return AccessResult{Latency: h.cfg.L1D.Latency, Level: LevelL1}
 		}
@@ -344,7 +363,7 @@ func (h *Hierarchy) Access(now, addr uint64, class Class, opts AccessOptions) Ac
 	if !usable {
 		if m, ok := h.findMSHR(la); ok {
 			// Merge with the in-flight fill.
-			h.L1D.countMiss(class)
+			h.L1D.countMiss(class, j, seq)
 			lat := m.doneAt - now
 			if lat < h.cfg.L1D.Latency {
 				lat = h.cfg.L1D.Latency
@@ -354,83 +373,115 @@ func (h *Hierarchy) Access(now, addr uint64, class Class, opts AccessOptions) Ac
 		}
 		if !opts.NoMSHR && !opts.Prefetch && h.demandMSHRs() >= h.cfg.L1MSHRs {
 			h.RejectedMSHR++
+			if j != nil {
+				j.add(undoRec{seq: seq, kind: undoReject})
+			}
 			return AccessResult{Rejected: true}
 		}
 	}
 
 	if usable {
-		h.L1D.countHit(l1, class, true)
+		h.L1D.countHit(l1, set1, way1, class, true, j, seq)
 		if opts.Write {
+			if j != nil && !l1.dirty {
+				j.add(undoRec{seq: seq, kind: undoDirty, c: h.L1D,
+					set: int32(set1), way: int32(way1), tag: l1.tag, prev: line{dirty: false}})
+			}
 			l1.dirty = true
 		}
 		h.countAccess(LevelL1)
 		return AccessResult{Latency: h.cfg.L1D.Latency, Level: LevelL1}
 	}
-	h.L1D.countMiss(class)
+	h.L1D.countMiss(class, j, seq)
 
 	latency := h.cfg.L1D.Latency
 	level := LevelMem
 	switch {
-	case h.L2.Access(la, now, class, true):
+	case h.L2.access(la, now, class, true, j, seq):
 		latency += h.cfg.L2.Latency
 		level = LevelL2
-	case h.L3.Access(la, now, class, true):
+	case h.L3.access(la, now, class, true, j, seq):
 		latency += h.cfg.L2.Latency + h.cfg.L3.Latency
 		level = LevelL3
 	default:
 		latency += h.cfg.L2.Latency + h.cfg.L3.Latency + h.cfg.MemLatency
 		h.DRAMAccesses++
+		if j != nil {
+			j.add(undoRec{seq: seq, kind: undoDRAM})
+		}
 	}
 
 	// Fill the path (mostly-inclusive); copies become usable when the data
 	// arrives at the core. Dirty victims ripple write-back traffic down.
 	fillAt := now + latency
-	if ev, was, dirty := h.L1D.InsertDirtyInfo(la, fillAt); was && dirty {
-		h.Writebacks[0]++
-		h.writebackInto(h.L2, ev, fillAt, 1)
+	if ev, was, dirty := h.L1D.insert(la, fillAt, j, seq); was && dirty {
+		h.noteWriteback(0, false, j, seq)
+		h.writebackInto(h.L2, ev, fillAt, 1, j, seq)
 	}
 	if level == LevelL3 || level == LevelMem {
-		if ev, was, dirty := h.L2.InsertDirtyInfo(la, fillAt); was && dirty {
-			h.Writebacks[1]++
-			h.writebackInto(h.L3, ev, fillAt, 2)
+		if ev, was, dirty := h.L2.insert(la, fillAt, j, seq); was && dirty {
+			h.noteWriteback(1, false, j, seq)
+			h.writebackInto(h.L3, ev, fillAt, 2, j, seq)
 		}
 	}
 	if level == LevelMem {
-		if _, was, dirty := h.L3.InsertDirtyInfo(la, fillAt); was && dirty {
-			h.Writebacks[2]++
-			h.DRAMWrites++
+		if _, was, dirty := h.L3.insert(la, fillAt, j, seq); was && dirty {
+			h.noteWriteback(2, true, j, seq)
 		}
 	}
 	if opts.Write {
-		h.L1D.MarkDirty(la)
+		h.L1D.markDirty(la, j, seq)
 	}
 	if !opts.NoMSHR {
 		h.mshrs = append(h.mshrs, mshr{lineAddr: la, doneAt: fillAt, prefetch: opts.Prefetch})
 		if fillAt < h.nextExpire {
 			h.nextExpire = fillAt
 		}
-		h.noteMSHR(now, la, fillAt, opts.Prefetch)
+		if j != nil {
+			// The timeline digest cannot be unfolded, so the fold is
+			// deferred: it applies when the record retires and is simply
+			// dropped when the allocation is rolled back.
+			j.add(undoRec{seq: seq, kind: undoMSHR,
+				now: now, lineAddr: la, doneAt: fillAt, prefetch: opts.Prefetch})
+		} else {
+			h.noteMSHR(now, la, fillAt, opts.Prefetch)
+		}
 	}
 	h.countAccess(level)
 	return AccessResult{Latency: latency, Level: level}
 }
 
+// noteWriteback counts one dirty-line eviction at the given level (dram
+// additionally counting the DRAM write), journaling the increments for a
+// tagged speculative access.
+func (h *Hierarchy) noteWriteback(level int, dram bool, j *undoJournal, seq uint64) {
+	h.Writebacks[level]++
+	if dram {
+		h.DRAMWrites++
+	}
+	if j != nil {
+		j.add(undoRec{seq: seq, kind: undoWriteback, level: uint8(level), dram: dram})
+	}
+}
+
 // writebackInto deposits a dirty victim into the next level (marking it
-// dirty there); if the next level misses, the line goes to memory.
-func (h *Hierarchy) writebackInto(next *Cache, addr, fillAt uint64, level int) {
+// dirty there); if the next level misses, the line goes to memory. The
+// ripple — nested inserts, their own victims, the dirty marks — journals
+// under the same sequence number as the access that evicted the victim.
+func (h *Hierarchy) writebackInto(next *Cache, addr, fillAt uint64, level int, j *undoJournal, seq uint64) {
 	if next.Present(addr) {
-		next.MarkDirty(addr)
+		next.markDirty(addr, j, seq)
 		return
 	}
-	if ev, was, dirty := next.InsertDirtyInfo(addr, fillAt); was && dirty {
-		h.Writebacks[level]++
+	if ev, was, dirty := next.insert(addr, fillAt, j, seq); was && dirty {
 		if level == 1 {
-			h.writebackInto(h.L3, ev, fillAt, 2)
+			h.noteWriteback(level, false, j, seq)
+			h.writebackInto(h.L3, ev, fillAt, 2, j, seq)
 		} else {
-			h.DRAMWrites++
+			h.noteWriteback(level, true, j, seq)
 		}
 	}
-	next.MarkDirty(addr)
+	next.markDirty(addr, j, seq)
 }
 
 // noteMSHR folds one MSHR allocation into the timeline digest.

@@ -28,6 +28,10 @@ type CacheState struct {
 	Accesses [numClasses]uint64 `json:"accesses"`
 	Hits     [numClasses]uint64 `json:"hits"`
 	Misses   [numClasses]uint64 `json:"misses"`
+	// Rng is the random-replacement victim-choice stream state. Omitted
+	// (and restored to the fixed seed) for LRU caches, so pre-existing
+	// checkpoint digests are unchanged.
+	Rng uint64 `json:"rng,omitempty"`
 }
 
 // State captures the cache.
@@ -39,6 +43,9 @@ func (c *Cache) State() *CacheState {
 		Accesses: c.Accesses,
 		Hits:     c.Hits,
 		Misses:   c.Misses,
+	}
+	if c.cfg.RandomReplacement {
+		st.Rng = c.rng
 	}
 	for _, set := range c.sets {
 		for _, l := range set {
@@ -75,6 +82,9 @@ func (c *Cache) Restore(st *CacheState) error {
 	c.Accesses = st.Accesses
 	c.Hits = st.Hits
 	c.Misses = st.Misses
+	if st.Rng != 0 {
+		c.rng = st.Rng
+	}
 	return nil
 }
 

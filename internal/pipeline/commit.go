@@ -12,11 +12,24 @@ import (
 // Commit is where all the non-speculative training happens: the stride
 // table (address predictor / prefetcher) and the branch predictor learn
 // only here, which is the security anchor of the doppelganger mechanism.
+// Under an undo scheme it is also where the rollback journal's retired
+// prefix is finalised (the committed instructions' side effects are now
+// architectural) and their buffered speculative-trace folds apply.
 func (c *Core) commit() {
+	frontier := c.commitCycle()
+	if c.undoOn && frontier != 0 {
+		c.drainSpecAt(frontier)
+		c.hier.RetireUpTo(frontier)
+	}
+}
+
+// commitCycle runs one cycle's in-order retirement and returns the highest
+// committed sequence number (0 when nothing committed).
+func (c *Core) commitCycle() (frontier uint64) {
 	for n := 0; n < c.cfg.CommitWidth && !c.rob.empty(); n++ {
 		u := &c.robEntries[c.rob.headIdx()]
 		if !c.canCommit(u) {
-			return
+			return frontier
 		}
 		switch u.kind {
 		case isa.KindHalt:
@@ -41,12 +54,14 @@ func (c *Core) commit() {
 		if u.oldDst != noReg {
 			c.free(u.oldDst)
 		}
+		frontier = u.seq
 		c.rob.popHead()
 		c.Stats.Committed++
 		if c.halted {
-			return
+			return frontier
 		}
 	}
+	return frontier
 }
 
 func (c *Core) canCommit(u *uop) bool {

@@ -110,6 +110,15 @@ type Core struct {
 	obsAddrSpec uint64
 	obsCtrlSpec uint64
 
+	// Undo-scheme state (secure.Cleanup): undoOn caches the scheme
+	// predicate for the hot path; specLog buffers speculative-trace folds
+	// of tagged accesses in perform order until their instruction commits
+	// (fold) or squashes (drop), because under an undo scheme a squashed
+	// access's hierarchy footprint is erased and must not appear in the
+	// observable address trace either.
+	undoOn  bool
+	specLog []specAcc
+
 	// Stats accumulates raw event counts for the run.
 	Stats Stats
 }
@@ -170,6 +179,18 @@ func New(cfg Config, prog *program.Program) (*Core, error) {
 	}
 	if cfg.MemDepPrediction {
 		c.sset = predictor.NewStoreSets(cfg.StoreSets)
+	}
+	if cfg.Scheme.UndoesSpeculation() {
+		// CleanupSpec-style undo: the hierarchy journals every tagged
+		// speculative side effect; squashes roll the journal back (see
+		// squashAfter) and commit retires it (see commit). The planted
+		// weakenings selectively disable parts of the rollback.
+		c.undoOn = true
+		c.hier.EnableUndo(mem.UndoOptions{
+			SkipLRUUndo: cfg.Mutation.SkipsLRUUndo(),
+			DropEvicted: cfg.Mutation.DropsEvictedLines(),
+		})
+		c.specLog = make([]specAcc, 0, cfg.ROBSize)
 	}
 	for r := 0; r < isa.NumRegs; r++ {
 		c.renameMap[r] = r
@@ -378,6 +399,13 @@ func (c *Core) squashAfter(survivorSeq, newPC, newHist uint64) {
 	}
 	c.shadows.SquashAfter(survivorSeq)
 	c.ctrlShadows.SquashAfter(survivorSeq)
+	if c.undoOn {
+		// Undo scheme: erase the squashed instructions' hierarchy footprint
+		// (fills, recency, counters, MSHRs) and drop their buffered
+		// speculative-trace folds — retrospective protection happens here.
+		c.hier.RollbackAfter(survivorSeq)
+		c.dropSpecAfter(survivorSeq)
+	}
 	c.fetchHist = newHist
 	c.iq = filterYounger(c.iq, survivorSeq)
 	c.inflightExec = filterYounger(c.inflightExec, survivorSeq)

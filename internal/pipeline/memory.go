@@ -376,6 +376,12 @@ func (c *Core) issueRealLoad(e *lqEntry, ports *int) {
 		DoMSpeculative: c.cfg.Scheme == secure.DoM && c.speculative(e.u.seq) &&
 			!c.cfg.Mutation.DisablesDelayOnMiss(),
 	}
+	if c.undoOn {
+		// Undo scheme: every load access is journaled unconditionally — a
+		// load can be squashed by an older instruction (or squash itself),
+		// so even "safe-looking" accesses must be reversible.
+		opts.UndoSeq = e.u.seq
+	}
 	res := c.hier.Access(c.cycle, e.addr, mem.ClassDemand, opts)
 	if res.Rejected {
 		return // MSHR full, retry
@@ -389,7 +395,7 @@ func (c *Core) issueRealLoad(e *lqEntry, ports *int) {
 		return
 	}
 	if c.obsOn {
-		c.obsSpecAccess(uint8(mem.ClassDemand), e.addr)
+		c.obsSpecAccessAt(e.u.seq, uint8(mem.ClassDemand), e.addr)
 	}
 	e.issued = true
 	e.delayedMiss = false
@@ -399,7 +405,7 @@ func (c *Core) issueRealLoad(e *lqEntry, ports *int) {
 	if c.met != nil {
 		c.met.loadLatency.Observe(res.Latency)
 	}
-	c.firePrefetches(e.u.pc, e.addr)
+	c.firePrefetches(e.u.seq, e.u.pc, e.addr)
 	if c.tracing {
 		var fl uint8
 		if res.Merged {
@@ -420,20 +426,24 @@ func (c *Core) issueRealLoad(e *lqEntry, ports *int) {
 // the preload, but the memory access still happens (a store must never make
 // a doppelganger invisible, §4.4).
 func (c *Core) issueDoppelganger(e *lqEntry, ports *int) {
-	res := c.hier.Access(c.cycle, e.predAddr, mem.ClassDoppelganger, mem.AccessOptions{})
+	opts := mem.AccessOptions{}
+	if c.undoOn {
+		opts.UndoSeq = e.u.seq
+	}
+	res := c.hier.Access(c.cycle, e.predAddr, mem.ClassDoppelganger, opts)
 	if res.Rejected {
 		return // MSHR full, retry
 	}
 	*ports--
 	if c.obsOn {
-		c.obsSpecAccess(uint8(mem.ClassDoppelganger), e.predAddr)
+		c.obsSpecAccessAt(e.u.seq, uint8(mem.ClassDoppelganger), e.predAddr)
 	}
 	e.doppIssued = true
 	e.doppDoneAt = c.cycle + res.Latency
 	e.doppLevel = res.Level
 	e.doppHitL1 = res.Level == mem.LevelL1
 	c.Stats.DoppIssued++
-	c.firePrefetches(e.u.pc, e.predAddr)
+	c.firePrefetches(e.u.seq, e.u.pc, e.predAddr)
 	if c.tracing {
 		var fl uint8
 		if res.Merged {
@@ -459,17 +469,23 @@ func (c *Core) issueDoppelganger(e *lqEntry, ports *int) {
 // access at (pc, addr) triggers fills for future stride targets. The table
 // itself is only ever trained at commit; prefetching from the address of an
 // access the active scheme has already allowed preserves each scheme's
-// guarantees.
-func (c *Core) firePrefetches(pc, addr uint64) {
+// guarantees. Under an undo scheme the prefetch fills are journaled against
+// the triggering load's sequence number: they exist only because that load
+// was performed, so its squash must unwind them too.
+func (c *Core) firePrefetches(seq, pc, addr uint64) {
 	if c.cfg.PrefetchDegree <= 0 {
 		return
 	}
 	c.prefetchBuf = c.stride.PrefetchTargets(pc, addr, c.cfg.PrefetchDistance, c.cfg.PrefetchDegree, c.prefetchBuf)
 	for _, t := range c.prefetchBuf {
-		res := c.hier.Access(c.cycle, t, mem.ClassPrefetch, mem.AccessOptions{Prefetch: true})
+		opts := mem.AccessOptions{Prefetch: true}
+		if c.undoOn {
+			opts.UndoSeq = seq
+		}
+		res := c.hier.Access(c.cycle, t, mem.ClassPrefetch, opts)
 		if !res.Rejected {
 			if c.obsOn {
-				c.obsSpecAccess(uint8(mem.ClassPrefetch), t)
+				c.obsSpecAccessAt(seq, uint8(mem.ClassPrefetch), t)
 			}
 			c.Stats.PrefetchesIssued++
 			if c.tracing {

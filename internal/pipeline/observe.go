@@ -76,6 +76,54 @@ func (c *Core) obsSpecAccess(class uint8, addr uint64) {
 	c.obsAddrSpec = obsMix(obsMix(c.obsAddrSpec, uint64(class)), addr)
 }
 
+// specAcc is one buffered speculative-trace fold under an undo scheme: the
+// access was performed, but whether it becomes observable is decided by its
+// instruction's fate (commit folds it, squash drops it alongside the
+// hierarchy rollback).
+type specAcc struct {
+	seq   uint64
+	addr  uint64
+	class uint8
+}
+
+// obsSpecAccessAt is obsSpecAccess for a load-path access under a possible
+// undo scheme: with undo active the fold is buffered against the issuing
+// instruction instead of applied immediately.
+func (c *Core) obsSpecAccessAt(seq uint64, class uint8, addr uint64) {
+	if c.undoOn {
+		c.specLog = append(c.specLog, specAcc{seq: seq, addr: addr, class: class})
+		return
+	}
+	c.obsSpecAccess(class, addr)
+}
+
+// drainSpecAt folds the buffered speculative accesses whose instructions
+// the commit frontier has retired, in perform order. The buffer is in
+// perform order, not sequence order, so the drain stops at the first entry
+// belonging to a still-in-flight instruction — it folds on a later commit
+// or is dropped by a squash.
+func (c *Core) drainSpecAt(frontier uint64) {
+	i := 0
+	for i < len(c.specLog) && c.specLog[i].seq <= frontier {
+		c.obsSpecAccess(c.specLog[i].class, c.specLog[i].addr)
+		i++
+	}
+	if i > 0 {
+		c.specLog = append(c.specLog[:0], c.specLog[i:]...)
+	}
+}
+
+// dropSpecAfter discards buffered folds of squashed instructions.
+func (c *Core) dropSpecAfter(survivorSeq uint64) {
+	out := c.specLog[:0]
+	for _, a := range c.specLog {
+		if a.seq <= survivorSeq {
+			out = append(out, a)
+		}
+	}
+	c.specLog = out
+}
+
 // obsSpecFetch folds one fetched PC — right or wrong path — into the
 // speculative control trace.
 func (c *Core) obsSpecFetch(pc uint64) {

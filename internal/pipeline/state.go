@@ -118,6 +118,10 @@ func (c *Core) quiescent() error {
 		return fmt.Errorf("load/store queues not empty")
 	case c.shadows.Outstanding() > 0 || c.ctrlShadows.Outstanding() > 0:
 		return fmt.Errorf("unresolved shadows outstanding")
+	case c.hier.UndoPending() > 0:
+		return fmt.Errorf("%d unretired undo-journal records", c.hier.UndoPending())
+	case len(c.specLog) > 0:
+		return fmt.Errorf("%d buffered speculative-trace folds", len(c.specLog))
 	}
 	for pc, n := range c.inflight {
 		if n != 0 {

@@ -26,6 +26,16 @@ const (
 	// predictor is trained at address resolution (speculatively, including
 	// wrong-path loads) instead of only at commit.
 	MutSpecTrain
+	// MutCleanupNoLRUUndo breaks half of Cleanup's rollback: speculative
+	// fills are still undone on squash, but replacement-recency touches are
+	// not, so a wrong-path hit leaves its line promoted in the LRU stack —
+	// the classic incomplete-rollback bug an undo scheme can ship with.
+	MutCleanupNoLRUUndo
+	// MutCleanupDropEvicted breaks the other half: on squash the
+	// speculative fill is invalidated, but the victim line it evicted is
+	// not reinstated, so a wrong-path miss still leaves a secret-dependent
+	// hole in the cache.
+	MutCleanupDropEvicted
 
 	numMutations
 )
@@ -36,6 +46,9 @@ var mutationNames = [numMutations]string{
 	MutSTTNoTaint:   "stt-no-taint",
 	MutDoMIssueMiss: "dom-issue-miss",
 	MutSpecTrain:    "spec-train",
+
+	MutCleanupNoLRUUndo:   "cleanup-no-lru-undo",
+	MutCleanupDropEvicted: "cleanup-drop-evicted",
 }
 
 // String returns the mutation's short name.
@@ -61,7 +74,8 @@ func ParseMutation(name string) (Mutation, error) {
 
 // Mutations lists the planted weakenings (excluding MutNone).
 func Mutations() []Mutation {
-	return []Mutation{MutNDAFreeProp, MutSTTNoTaint, MutDoMIssueMiss, MutSpecTrain}
+	return []Mutation{MutNDAFreeProp, MutSTTNoTaint, MutDoMIssueMiss, MutSpecTrain,
+		MutCleanupNoLRUUndo, MutCleanupDropEvicted}
 }
 
 // DisablesPropagationDelay reports whether NDA's propagation delay is
@@ -77,6 +91,14 @@ func (m Mutation) DisablesDelayOnMiss() bool { return m == MutDoMIssueMiss }
 // TrainsSpeculatively reports whether the address predictor is trained on
 // speculative (pre-commit, possibly wrong-path) addresses.
 func (m Mutation) TrainsSpeculatively() bool { return m == MutSpecTrain }
+
+// SkipsLRUUndo reports whether Cleanup's rollback skips undoing
+// replacement-recency touches (fills still roll back).
+func (m Mutation) SkipsLRUUndo() bool { return m == MutCleanupNoLRUUndo }
+
+// DropsEvictedLines reports whether Cleanup's rollback invalidates the
+// speculative fill without reinstating the victim line it evicted.
+func (m Mutation) DropsEvictedLines() bool { return m == MutCleanupDropEvicted }
 
 // Target returns the scheme configuration the mutation is designed to
 // weaken: the scheme whose protection it removes, and whether address
@@ -95,6 +117,8 @@ func (m Mutation) Target() (s Scheme, needAP bool) {
 		// scheme that lets a speculatively loaded value compute the
 		// wrong-path address that poisons the table (L1-hit propagation).
 		return DoM, true
+	case MutCleanupNoLRUUndo, MutCleanupDropEvicted:
+		return Cleanup, false
 	default:
 		return Unsafe, false
 	}

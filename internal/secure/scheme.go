@@ -45,6 +45,17 @@ const (
 	// model (our STT); this variant reproduces the weaker model from the
 	// STT paper for comparison.
 	STTSpectre
+	// Cleanup is a CleanupSpec-style *undo* scheme — the field's other
+	// major design point next to the delay-based schemes above. Speculative
+	// loads issue, propagate and fill caches exactly as on the unsafe
+	// baseline; the hierarchy instead journals every speculative side
+	// effect (fills, evictions, replacement-recency touches, MSHR
+	// allocations, traffic counters) and a squash rolls the journal back
+	// past the squash boundary, reinstating evicted victims. Protection is
+	// therefore retrospective: the wrong path runs at full speed, and its
+	// micro-architectural footprint is erased before non-transient code can
+	// observe it.
+	Cleanup
 
 	numSchemes
 )
@@ -56,6 +67,7 @@ var schemeNames = [numSchemes]string{
 	DoM:        "dom",
 	NDAS:       "nda-s",
 	STTSpectre: "stt-spectre",
+	Cleanup:    "cleanup",
 }
 
 // String returns the scheme's short name.
@@ -83,8 +95,11 @@ func ParseScheme(name string) (Scheme, error) {
 func Schemes() []Scheme { return []Scheme{Unsafe, NDAP, STT, DoM} }
 
 // AllSchemes additionally includes the variants this reproduction adds
-// beyond the paper's evaluation (strict NDA, Spectre-model STT).
-func AllSchemes() []Scheme { return []Scheme{Unsafe, NDAP, STT, DoM, NDAS, STTSpectre} }
+// beyond the paper's evaluation (strict NDA, Spectre-model STT, and the
+// CleanupSpec-style undo scheme).
+func AllSchemes() []Scheme {
+	return []Scheme{Unsafe, NDAP, STT, DoM, NDAS, STTSpectre, Cleanup}
+}
 
 // DelaysPropagation reports whether the scheme withholds a speculative
 // load's result from dependents until the load is safe (NDA variants).
@@ -104,3 +119,8 @@ func (s Scheme) ControlOnlyTaint() bool { return s == STTSpectre }
 // DelaysOnMiss reports whether speculative loads that miss in the L1 are
 // delayed until non-speculative (DoM).
 func (s Scheme) DelaysOnMiss() bool { return s == DoM }
+
+// UndoesSpeculation reports whether the scheme lets speculative accesses
+// change the cache hierarchy freely and rolls the changes back on squash
+// (the CleanupSpec design point), rather than delaying them up front.
+func (s Scheme) UndoesSpeculation() bool { return s == Cleanup }

@@ -53,6 +53,25 @@ if [ -z "$RESUMED" ] || [ "$RESUMED" -eq 0 ]; then
 fi
 echo "campaign-smoke: resumed $RESUMED corpus inputs"
 
+echo "campaign-smoke: planted cleanup weakening must be hunted down"
+OUT3="$("$BIN" -campaign -budget 32 -schemes 'cleanup!cleanup-no-lru-undo' \
+    -ap off -seed 1 -corpus "$DIR/cleanup.dgcf")"
+echo "$OUT3" | sed 's/^/  /'
+case "$OUT3" in
+*"cleanup!cleanup-no-lru-undo"*) ;;
+*)
+    echo "campaign-smoke: campaign found no leak for the planted cleanup weakening" >&2
+    exit 1
+    ;;
+esac
+case "$OUT3" in
+*"ok: no unmutated secure config leaks"*) ;;
+*)
+    echo "campaign-smoke: mutated-config leaks must not fail the secure verdict" >&2
+    exit 1
+    ;;
+esac
+
 echo "campaign-smoke: corrupted corpus must be refused"
 cp "$CORPUS" "$DIR/corrupt.dgcf"
 printf '\xff' | dd of="$DIR/corrupt.dgcf" bs=1 seek=40 conv=notrunc 2>/dev/null

@@ -57,6 +57,21 @@ func BenchmarkRunWithMetrics(b *testing.B) {
 	}
 }
 
+// BenchmarkRunCleanup measures the undo-journal path: Cleanup speculates
+// like the unsafe core but journals every speculative cache side effect
+// and rolls the hierarchy back on squash, so this gates the journaling
+// overhead on the common no-squash fast path as well as rollback cost.
+func BenchmarkRunCleanup(b *testing.B) {
+	p := benchProgram(b)
+	cfg := sim.Config{Scheme: sim.Cleanup}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.Run(p, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkRunFromCheckpoint measures the warm-start path: restore from a
 // mid-run snapshot and finish. The snapshot itself is taken once outside
 // the loop, matching how the harness amortizes one warmup across every

@@ -110,6 +110,37 @@ func TestRunFromCheckpointBoundedInsts(t *testing.T) {
 	}
 }
 
+// TestSnapshotUnderCleanup pins warm-start equivalence for the undo-based
+// scheme: the snapshot is taken under Cleanup itself, so the drain that
+// precedes capture must retire or roll back every open speculative epoch —
+// an undrained undo journal or buffered trace fold makes the core refuse to
+// capture. The warm-started remainder must then match the straight-line
+// run's architectural checksum, with and without address prediction.
+func TestSnapshotUnderCleanup(t *testing.T) {
+	p := testProgram(t, "stream")
+	ck, err := sim.Snapshot(p, sim.Config{Scheme: sim.Cleanup}, checkpointWarmup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ap := range []bool{false, true} {
+		cfg := sim.Config{Scheme: sim.Cleanup, AddressPrediction: ap}
+		straight, err := sim.Run(p, cfg)
+		if err != nil {
+			t.Fatalf("ap=%v straight-line: %v", ap, err)
+		}
+		warm, err := sim.RunFromCheckpoint(context.Background(), p, cfg, ck)
+		if err != nil {
+			t.Fatalf("ap=%v from checkpoint: %v", ap, err)
+		}
+		if straight.Checksum != warm.Checksum {
+			t.Errorf("ap=%v: architectural divergence: straight %x, warm %x", ap, straight.Checksum, warm.Checksum)
+		}
+		if straight.Insts != warm.Insts {
+			t.Errorf("ap=%v: committed %d straight vs %d warm", ap, straight.Insts, warm.Insts)
+		}
+	}
+}
+
 // TestRunFromCheckpointEquivalenceMatrix is the tentpole's acceptance
 // proof: across the full workload × scheme × ±AP matrix (168 cells), a
 // run warmed once under the unsafe baseline and forked from the

@@ -37,6 +37,9 @@ const (
 	NDAS = secure.NDAS
 	// STTSpectre is STT under the Spectre threat model (extension).
 	STTSpectre = secure.STTSpectre
+	// Cleanup is the undo-based scheme: speculate like Unsafe, roll the
+	// cache hierarchy back on squash (extension; CleanupSpec-style).
+	Cleanup = secure.Cleanup
 )
 
 // ParseScheme maps a scheme name ("unsafe", "nda-p", "stt", "dom") to its
